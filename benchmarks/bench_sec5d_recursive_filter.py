@@ -1,0 +1,55 @@
+"""§V-D: recursive filtering of ~50 s of stereo audio (2^21 samples).
+
+Paper (RTX 4070 SUPER): CUDA-only 67.5 us -> 58 us with the FIR
+convolution on Tensor Cores, the savings coming from relieving the
+memory subsystem (TC utilization a mere 8%).
+"""
+
+import pytest
+
+from repro.apps import recursive_filter
+from repro.perfmodel import PerfModel, format_table
+from repro.targets.device import RTX4070S
+
+from .harness import print_header
+
+
+@pytest.mark.benchmark(group="sec5d")
+def test_sec5d_recursive_filter(benchmark):
+    model = PerfModel(RTX4070S)
+    rows = []
+    times = {}
+    for variant in ("cuda", "tensor"):
+        app = recursive_filter.build(variant)
+        app.verify(rtol=3e-2, atol=3e-2)
+        _, counters = app.run_and_measure()
+        t = model.estimate(counters, kernels=app.kernels)
+        times[variant] = t
+        rows.append(
+            [
+                variant,
+                f"{t.us():.1f}",
+                f"{t.tensor_s * 1e6:.1f}",
+                f"{t.cuda_s * 1e6:.1f}",
+                f"{t.dram_s * 1e6:.1f}",
+                f"{t.l1_s * 1e6:.1f}",
+            ]
+        )
+    print_header("SS V-D — recursive filter, 2^21 stereo samples (us)")
+    print(
+        format_table(
+            ["variant", "total", "tensor", "cuda", "dram", "l1"], rows
+        )
+    )
+    print("paper: 67.5 us CUDA-only -> 58 us with TC convolution (1.16x)")
+    speedup = times["cuda"].total_s / times["tensor"].total_s
+    print(f"modeled speedup: {speedup:.2f}x")
+    # shape: a modest end-to-end effect at best; the TC convolution
+    # removes the FIR's scalar FLOPs and most of its L1 traffic, but both
+    # variants sit at the DRAM floor of our model (the paper's 1.16x came
+    # from L1-bandwidth relief its profiler measured directly)
+    assert times["tensor"].total_s <= times["cuda"].total_s * 1.01
+    assert times["tensor"].cuda_s < times["cuda"].cuda_s
+    assert times["tensor"].l1_s < times["cuda"].l1_s
+    assert speedup < 2.0  # the recurrence dominates; no miracle win
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+"""Table II: non-integer Lanczos-3 resize of a 2048x2048 RGB image.
+
+Paper (RTX 4070 SUPER): CUDA-only 111/110/113/145 us vs Tensor Cores
+79/73/74/102 us for output sizes 143/245/450/921 — geomean 1.47x, with
+the TC kernels bandwidth-limited at ~10% tensor utilization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import resample
+from repro.linalg import build_resample_matrix
+from repro.perfmodel import PerfModel, format_table
+from repro.runtime import Counters
+from repro.targets.device import RTX4070S
+
+from .harness import print_header
+
+IN_SIZE = 2048
+CHANNELS = 3
+OUTPUT_SIZES = [143, 245, 450, 921]
+PAPER = {143: (111, 79), 245: (110, 73), 450: (113, 74), 921: (145, 102)}
+
+
+def measure_resize(out_size: int, variant: str):
+    """Model a full separable resize from reduced-size interpreted passes."""
+    model = PerfModel(RTX4070S)
+    total = None
+    # vertical pass: 2048 -> out over 2048*3 columns; horizontal: 2048 ->
+    # out over out*3 rows.  Interpret a 32-column slice and scale.
+    cols_interp = 32
+    for in_size, out_sz, full_cols in (
+        (IN_SIZE, out_size, IN_SIZE * CHANNELS),
+        (IN_SIZE, out_size, out_size * CHANNELS),
+    ):
+        app = resample.build_pass(
+            variant,
+            in_size=in_size,
+            out_size=out_sz,
+            columns=cols_interp,
+            scale_factor=full_cols / cols_interp,
+        )
+        _, counters = app.run_and_measure()
+        t = model.estimate(counters, kernels=1)
+        total = t if total is None else _sum(total, t)
+    return total
+
+
+def _sum(a, b):
+    import dataclasses
+
+    return dataclasses.replace(
+        a,
+        tensor_s=a.tensor_s + b.tensor_s,
+        cuda_s=a.cuda_s + b.cuda_s,
+        dram_s=a.dram_s + b.dram_s,
+        l1_s=a.l1_s + b.l1_s,
+        launch_s=a.launch_s + b.launch_s,
+    )
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_resample(benchmark):
+    rows = []
+    ratios = []
+    for out_size in OUTPUT_SIZES:
+        cuda_t = measure_resize(out_size, "cuda")
+        tensor_t = measure_resize(out_size, "tensor")
+        ratio = cuda_t.total_s / tensor_t.total_s
+        ratios.append(ratio)
+        p_cuda, p_tc = PAPER[out_size]
+        rows.append(
+            [
+                f"{out_size}x{out_size}",
+                f"{cuda_t.us():.0f}",
+                f"{tensor_t.us():.0f}",
+                f"{ratio:.2f}x",
+                f"{p_cuda}/{p_tc}",
+            ]
+        )
+    geomean = float(np.exp(np.mean(np.log(ratios))))
+    print_header("Table II — Lanczos-3 resize of 2048^2 RGB (us, modeled)")
+    print(
+        format_table(
+            ["output", "CUDA-only", "Tensor core", "speedup",
+             "paper (CUDA/TC)"],
+            rows,
+        )
+    )
+    print(f"geomean speedup: {geomean:.2f}x (paper: 1.47x)")
+    # shape: TC never loses, and both variants sit at the bandwidth
+    # floor.  Our roofline classifies the CUDA-only kernels as already
+    # fully bandwidth-bound, so the modeled win is smaller than the
+    # measured 1.47x (the paper's CUDA kernels ran at 60-90% of *both*
+    # limits) — see EXPERIMENTS.md.
+    assert all(r >= 0.99 for r in ratios)
+    assert 0.99 <= geomean < 3.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

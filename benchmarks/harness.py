@@ -1,0 +1,37 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark compiles the real pipelines (including HARDBOILED's EqSat
+instruction selection, whose wall-clock time is genuinely measured),
+executes them on the simulators to collect op/byte counters, and feeds
+the counters into the roofline device model to produce paper-style
+tables.  Absolute times are model estimates; the qualitative shape
+(winner, bound type, crossovers) is asserted.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel import PerfModel, TimeBreakdown, format_table
+from repro.targets.device import A100, RTX4070S
+
+
+def measure(app, device) -> TimeBreakdown:
+    """Run an app and model its full-size runtime on ``device``."""
+    out, counters = app.run_and_measure()
+    model = PerfModel(device)
+    return model.estimate(counters, kernels=app.kernels)
+
+
+def both_variants(module, device, **params):
+    """(cuda_time, tensor_time, tensor_report) for one workload."""
+    cuda_app = module.build("cuda", **params)
+    tensor_app = module.build("tensor", **params)
+    cuda_t = measure(cuda_app, device)
+    tensor_t = measure(tensor_app, device)
+    return cuda_t, tensor_t, tensor_app.report
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

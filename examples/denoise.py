@@ -1,0 +1,29 @@
+"""DCT-domain denoising with four fused Tensor-Core MatMuls (§V-E).
+
+Run:  python examples/denoise.py
+"""
+
+import numpy as np
+
+from repro.apps import dct_denoise
+from repro.runtime import Counters
+
+
+def main():
+    app = dct_denoise.build("tensor", num_tiles=16)
+    counters = Counters()
+    out = app.pipeline.run(app._inputs(), counters=counters)
+    ref = app.reference()
+    print("transform kernel over", app.num_tiles, "windowed 16x16 tiles")
+    print(app.report.summary())
+    print("max |error| vs numpy DCT/coring/iDCT:", np.abs(out - ref).max())
+    print(
+        f"tensor MACs {counters.tensor_macs:,} across 4 MatMuls/tile;"
+        f" coring ran {counters.scalar_flops:,} scalar FLOPs *between*"
+        " the MatMuls, in the same kernel — the fusion a library of"
+        " GEMM calls cannot express"
+    )
+
+
+if __name__ == "__main__":
+    main()

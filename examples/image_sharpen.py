@@ -1,0 +1,69 @@
+"""Sharpen an image with a 1-D separable kernel on (simulated) Tensor Cores.
+
+A classic image-processing task that kernel libraries cannot express:
+single-channel row convolution with a custom kernel.  HARDBOILED maps it
+onto m32n8k16 WMMA MMAs against a Toeplitz matrix.
+
+Run:  python examples/image_sharpen.py
+"""
+
+import numpy as np
+
+from repro import frontend as hl
+from repro.hardboiled import compile_tensorized
+from repro.runtime import Counters
+
+
+def main():
+    taps = 16
+    width, rows = 1024, 8
+
+    K = hl.ImageParam(hl.Float(16), 1, name="K")
+    I = hl.ImageParam(hl.Float(16), 2, name="I")
+    x, y = hl.Var("x"), hl.Var("y")
+    xi, rxi = hl.Var("xi"), hl.Var("rxi")
+    rx = hl.RDom(0, taps, name="rx")
+    blur = hl.Func("blur")
+    sharp = hl.Func("sharp")
+    blur[x, y] = 0.0
+    blur[x, y] += hl.f32(K[rx]) * hl.f32(I[x + rx, y])
+    # unsharp mask, fused with the tensorized convolution
+    center = hl.f32(I[x + taps // 2, y])
+    sharp[x, y] = center + 0.6 * (center - blur[x, y])
+    sharp.bound(x, 0, width).bound(y, 0, rows)
+
+    sharp.split(x, x, xi, 256).vectorize(xi).gpu_blocks(x, y)
+    blur.compute_at(sharp, "x").store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+    blur.split(x, x, xi, 256).vectorize(xi)
+    blur.update().split(x, x, xi, 256).split(rx, rx, rxi, 8).reorder(
+        rxi, xi, rx, x
+    ).atomic().vectorize(xi).vectorize(rxi)
+
+    pipeline, report = compile_tensorized(sharp)
+    print(report.summary())
+
+    rng = np.random.default_rng(1)
+    image = rng.random((rows, width + taps + 8)).astype(np.float16)
+    kernel = np.hanning(taps).astype(np.float16)
+    kernel /= np.float16(kernel.sum())
+
+    counters = Counters()
+    out = pipeline.run({I: image, K: kernel}, counters=counters)
+
+    # reference: blur + unsharp in numpy
+    img = image.astype(np.float32)
+    k32 = kernel.astype(np.float32)
+    blur_ref = np.zeros((rows, width), dtype=np.float32)
+    for t in range(taps):
+        blur_ref += k32[t] * img[:, t : t + width]
+    center_ref = img[:, taps // 2 : taps // 2 + width]
+    ref = center_ref + 0.6 * (center_ref - blur_ref)
+    print("max |error| vs numpy:", np.abs(out - ref).max())
+    print(
+        f"tensor MACs {counters.tensor_macs:,}; the unsharp epilogue ran"
+        f" {counters.scalar_flops:,} scalar FLOPs fused in-kernel"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Generate a thumbnail via block-sparse Lanczos-3 resampling (§V-C).
+
+Run:  python examples/thumbnail.py
+"""
+
+import numpy as np
+
+from repro.apps import resample
+from repro.linalg import build_resample_matrix
+from repro.runtime import Counters
+
+
+def main():
+    in_size, out_size, columns = 512, 97, 64
+    app = resample.build_pass(
+        "tensor", in_size=in_size, out_size=out_size, columns=columns
+    )
+    print(app.description)
+    counters = Counters()
+    blocks = app.run(counters)
+    thumb_pass = resample.assemble(blocks, out_size)
+    print("one separable pass:", thumb_pass.shape)
+    print(app.report.summary())
+    reference = app.reference()
+    print(
+        "max |error| vs block-sparse reference:",
+        np.abs(blocks - reference).max(),
+    )
+    print(
+        f"tensor MACs {counters.tensor_macs:,} — the paper's point: even"
+        " at ~10% Tensor Core utilization the resize wins, because the"
+        " kernel becomes purely bandwidth-limited"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of HARDBOILED (CGO 2026).
+
+"Pushing Tensor Accelerators beyond MatMul in a User-Schedulable
+Language": a Halide-like user-schedulable DSL, an egglog-style equality
+saturation engine, a tensor instruction selector targeting simulated
+Intel AMX and Nvidia Tensor Core (WMMA) accelerators, and the paper's
+signal/image-processing case studies.
+
+Quick start::
+
+    from repro import frontend as hl
+
+    A = hl.ImageParam(hl.BFloat(16), 2, name="A")
+    B = hl.ImageParam(hl.BFloat(16), 2, name="B")
+    x, y = hl.Var("x"), hl.Var("y")
+    r = hl.RDom(0, 32, name="r")
+    mm = hl.Func("mm")
+    mm[y, x] = 0.0
+    mm[y, x] += hl.cast(hl.Float(32), A[r, x]) * hl.cast(hl.Float(32), B[y, r])
+
+See ``examples/quickstart.py`` for the full scheduling + compilation flow.
+"""
+
+__version__ = "1.0.0"

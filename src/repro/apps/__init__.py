@@ -1,0 +1,34 @@
+"""The paper's case-study applications (SS IV and SS V).
+
+Each module exposes ``build(variant, **params) -> App`` with variants
+``"cuda"`` (vectorized, no tensor accelerators) and ``"tensor"``
+(HARDBOILED-selected accelerator schedule).
+"""
+
+from . import (
+    attention,
+    conv1d,
+    conv2d,
+    conv_layer,
+    dct_denoise,
+    downsample,
+    matmul,
+    recursive_filter,
+    resample,
+    upsample,
+)
+from .common import App
+
+__all__ = [
+    "App",
+    "attention",
+    "conv1d",
+    "conv2d",
+    "conv_layer",
+    "dct_denoise",
+    "downsample",
+    "matmul",
+    "recursive_filter",
+    "resample",
+    "upsample",
+]

@@ -1,0 +1,162 @@
+"""Scaled dot-product attention (paper §IV, Fig. 4).
+
+The naive three-stage algorithm, as the paper specifies (no
+FlashAttention-style reordering — "an apples-to-apples comparison
+focusing on proper Tensor Core utilization"):
+
+1. ``S = Q K^T / sqrt(D)`` — a GEMM, tensorized;
+2. row softmax (max, exp, sum) — CUDA lanes;
+3. ``O = P V`` — a GEMM over the probabilities, tensorized.
+
+Stage boundaries are materialized Funcs, matching the multiple kernel
+launches of the naive implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import frontend as hl
+from .common import App, f16_random
+
+TILE = 16
+FULL_BATCH = 64
+FULL_L = 4096
+
+
+def reference_attention(q, kt, v):
+    """q: (i, d) via numpy (L, D); kt: (d, j) -> (D, L)... see build."""
+    q32 = q.astype(np.float32)
+    k32 = kt.astype(np.float32)
+    v32 = v.astype(np.float32)
+    d = q32.shape[1]
+    scores = q32 @ k32 / np.sqrt(d)
+    scores -= scores.max(axis=1, keepdims=True)
+    p = np.exp(scores)
+    p /= p.sum(axis=1, keepdims=True)
+    # fp16 quantization of P happens before the second GEMM
+    p = p.astype(np.float16).astype(np.float32)
+    return p @ v32
+
+
+def build(
+    variant: str, length: int = 128, depth: int = 64, seed: int = 7
+) -> App:
+    """One batch of attention at sequence length ``length``."""
+    if length % TILE or depth % TILE:
+        raise ValueError("length and depth must be multiples of 16")
+
+    # layouts chosen for unit-stride operands (the developer's job):
+    # Q(d, i), Kt(j, d), V(d, j) — innermost dimension first
+    Q = hl.ImageParam(hl.Float(16), 2, name="Qat")
+    Kt = hl.ImageParam(hl.Float(16), 2, name="Ktat")
+    V = hl.ImageParam(hl.Float(16), 2, name="Vat")
+    i, j, d = hl.Var("i"), hl.Var("j"), hl.Var("d")
+    ji, ii, di, ri = hl.Var("ji"), hl.Var("ii"), hl.Var("di"), hl.Var("ri")
+    rd = hl.RDom(0, depth, name="rdat")
+    rj = hl.RDom(0, length, name="rjat")
+    rj2 = hl.RDom(0, length, name="rj2at")
+
+    # stage 1: scores
+    s = hl.Func("scores")
+    s[j, i] = 0.0
+    s[j, i] += hl.f32(Q[rd, i]) * hl.f32(Kt[j, rd])
+    s_mem = hl.Func("scores_mem")
+    s_mem[j, i] = s[j, i]
+
+    # stage 2: softmax across keys
+    scale = 1.0 / float(np.sqrt(depth))
+    row_max = hl.Func("row_max")
+    row_max[i] = -1e30
+    row_max[i] = hl.maximum(row_max[i], s_mem[rj, i])
+    prob = hl.Func("prob")
+    prob[j, i] = hl.exp((s_mem[j, i] - row_max[i]) * scale)
+    denom = hl.Func("denom")
+    denom[i] = 0.0
+    denom[i] += prob[rj2, i]
+    p16 = hl.Func("p16")
+    p16[j, i] = hl.f16(prob[j, i] / denom[i])
+
+    # stage 3: output
+    o = hl.Func("attn")
+    o[d, i] = 0.0
+    o[d, i] += hl.f32(p16[rj, i]) * hl.f32(V[d, rj])
+    out = o.in_()
+    out.bound(d, 0, depth).bound(i, 0, length)
+
+    # schedules -----------------------------------------------------------
+    s_mem.compute_root()
+    s_mem.bound(j, 0, length).bound(i, 0, length)
+    s_mem.split(j, j, ji, TILE).split(i, i, ii, TILE).reorder(
+        ji, ii, j, i
+    ).vectorize(ji).vectorize(ii).gpu_blocks(i)
+    s.compute_at(s_mem, "j")
+    s.vectorize(j, TILE).vectorize(i, TILE)
+    sji, sii = hl.Var("sji"), hl.Var("sii")
+    s.update().split(rd, rd, ri, TILE).split(j, j, sji, TILE).split(
+        i, i, sii, TILE
+    ).reorder(ri, sji, sii, rd, j, i).atomic().vectorize(ri).vectorize(
+        sji
+    ).vectorize(sii)
+
+    row_max.compute_root().bound(i, 0, length).vectorize(i, length)
+    row_max.update().reorder(i, "rjat").vectorize(i, length)
+    prob.compute_root().bound(j, 0, length).bound(i, 0, length)
+    prob.vectorize(j, length)
+    denom.compute_root().bound(i, 0, length).vectorize(i, length)
+    denom.update().reorder(i, "rj2at").vectorize(i, length)
+    p16.compute_root().bound(j, 0, length).bound(i, 0, length)
+    p16.vectorize(j, length)
+
+    out.split(d, d, di, TILE).split(i, i, ii, TILE).reorder(
+        di, ii, d, i
+    ).vectorize(di).vectorize(ii).gpu_blocks(i)
+    o.compute_at(out, "d")
+    o.vectorize(d, TILE).vectorize(i, TILE)
+    odi, oii = hl.Var("odi"), hl.Var("oii")
+    o.update().split(rj, rj, ri, TILE).split(d, d, odi, TILE).split(
+        i, i, oii, TILE
+    ).reorder(ri, odi, oii, rj, d, i).atomic().vectorize(ri).vectorize(
+        odi
+    ).vectorize(oii)
+
+    if variant == "tensor":
+        s.store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+        o.store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+    elif variant != "cuda":
+        raise ValueError(f"unknown variant {variant!r}")
+
+    rng = np.random.default_rng(seed)
+    q = f16_random(rng, (length, depth)) / np.float16(4)  # numpy (i, d)
+    kt = f16_random(rng, (depth, length)) / np.float16(4)  # numpy (d, j)
+    v = f16_random(rng, (length, depth)) / np.float16(4)  # numpy (j, d)
+    inputs = {Q: q, Kt: kt, V: v}
+
+    def reference():
+        # numpy layouts: q (i, d); kt (d, j); v (j, d) — the output Func
+        # o(d, i) also materializes as numpy (i, d)
+        return reference_attention(q, kt, v)
+
+    full_work = FULL_BATCH * (FULL_L / length) ** 2
+    return App(
+        name="attention",
+        variant=variant,
+        output=out,
+        inputs=inputs,
+        reference=reference,
+        scale_factor=full_work,
+        kernels=4,  # scores, softmax x2, output
+        description=(
+            f"scaled dot-product attention, N={FULL_BATCH}, L={FULL_L},"
+            f" D={depth}"
+        ),
+    )
+
+
+def theoretical_macs(depth: int = 64) -> int:
+    return FULL_BATCH * (2 * FULL_L * FULL_L * depth)
+
+
+def theoretical_io_bytes(depth: int = 64) -> int:
+    per_batch = 3 * FULL_L * depth * 2 + FULL_L * depth * 4
+    return FULL_BATCH * per_batch

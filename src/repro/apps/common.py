@@ -1,0 +1,79 @@
+"""Shared scaffolding for the case-study applications.
+
+Every application exposes ``build(variant, **params) -> App`` where
+``variant`` is ``"cuda"`` (best-effort vectorized schedule without tensor
+accelerators) or ``"tensor"`` (the accelerator schedule).  An :class:`App`
+bundles the scheduled output Func with its inputs, a numpy reference, and
+the scale factor relating the interpreted (reduced) problem to the
+paper's full-size problem — counters scale linearly with the iteration
+domain, so reduced runs extrapolate exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..frontend.func import Func, ImageParam
+from ..hardboiled import SelectionReport, select_instructions
+from ..lowering import lower
+from ..runtime import Counters
+from ..runtime.executor import CompiledPipeline
+
+
+@dataclass
+class App:
+    """A compiled-ready workload instance."""
+
+    name: str
+    variant: str
+    output: Func
+    inputs: Dict[ImageParam, np.ndarray]
+    reference: Callable[[], np.ndarray]
+    #: full-size problem is `scale_factor` x the interpreted one
+    scale_factor: float = 1.0
+    #: GPU kernel launches per full-size run (for launch overhead)
+    kernels: int = 1
+    description: str = ""
+    _pipeline: Optional[CompiledPipeline] = None
+    _report: Optional[SelectionReport] = None
+
+    def compile(self) -> CompiledPipeline:
+        if self._pipeline is None:
+            lowered = lower(self.output)
+            if self.variant == "tensor":
+                lowered, self._report = select_instructions(
+                    lowered, strict=True
+                )
+            self._pipeline = CompiledPipeline(lowered)
+        return self._pipeline
+
+    @property
+    def report(self) -> Optional[SelectionReport]:
+        self.compile()
+        return self._report
+
+    def run(self, counters: Optional[Counters] = None) -> np.ndarray:
+        return self.compile().run(self.inputs, counters=counters)
+
+    def run_and_measure(self):
+        """Run once; returns (output, counters scaled to full size)."""
+        counters = Counters()
+        out = self.run(counters)
+        return out, counters.scaled(self.scale_factor)
+
+    def verify(self, rtol: float = 2e-2, atol: float = 2e-2) -> np.ndarray:
+        out = self.run()
+        ref = self.reference()
+        np.testing.assert_allclose(out, ref, rtol=rtol, atol=atol)
+        return out
+
+
+def f16_random(rng: np.random.Generator, shape) -> np.ndarray:
+    return rng.standard_normal(shape).astype(np.float16)
+
+
+def f32_random(rng: np.random.Generator, shape) -> np.ndarray:
+    return rng.standard_normal(shape).astype(np.float32)

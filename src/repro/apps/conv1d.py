@@ -1,0 +1,109 @@
+"""1-D convolution (paper §V-A, Fig. 5).
+
+``O(x, y) = sum_rx I(x + rx, y) * K(rx)`` — a single-channel 1-D filter
+run over every row of an image.  im2col would degenerate this to a
+matrix-vector product, so kernel libraries cannot help; HARDBOILED maps
+each 256-pixel segment x 8-tap block onto an m32n8k16 WMMA MMA against a
+Toeplitz matrix built by ``ConvolutionShuffle``.
+
+The paper evaluates a 4096x4096 image; interpretation runs a reduced
+number of rows and scales the counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import frontend as hl
+from .common import App, f16_random
+
+FULL_ROWS = 4096
+FULL_WIDTH = 4096
+SEGMENT = 256
+TAP_BLOCK = 8
+
+
+def reference_conv1d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Row-wise valid convolution, fp32 accumulation."""
+    taps = len(kernel)
+    k32 = kernel.astype(np.float32)
+    img = image.astype(np.float32)
+    width = img.shape[1] - taps + 1
+    out = np.zeros((img.shape[0], width), dtype=np.float32)
+    for t in range(taps):
+        out += k32[t] * img[:, t : t + width]
+    return out
+
+
+def build(
+    variant: str,
+    taps: int = 16,
+    width: int = FULL_WIDTH,
+    rows: int = 2,
+    seed: int = 0,
+) -> App:
+    """Build the conv1d workload.
+
+    ``taps`` must be a multiple of 8 (the paper sweeps 8..256).
+    """
+    if taps % TAP_BLOCK != 0:
+        raise ValueError(f"taps must be a multiple of {TAP_BLOCK}")
+    if width % SEGMENT != 0:
+        raise ValueError(f"width must be a multiple of {SEGMENT}")
+
+    K = hl.ImageParam(hl.Float(16), 1, name="K")
+    I = hl.ImageParam(hl.Float(16), 2, name="I")
+    x, y = hl.Var("x"), hl.Var("y")
+    xi, rxi = hl.Var("xi"), hl.Var("rxi")
+    rx = hl.RDom(0, taps, name="rx")
+    conv = hl.Func("conv")
+    output = hl.Func("output")
+    conv[x, y] = 0.0
+    conv[x, y] += hl.f32(K[rx]) * hl.f32(I[x + rx, y])
+    output[x, y] = conv[x, y]
+    output.bound(x, 0, width).bound(y, 0, rows)
+
+    output.split(x, x, xi, SEGMENT).vectorize(xi).gpu_blocks(x, y)
+    conv.compute_at(output, x)
+    if variant == "tensor":
+        conv.store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+        conv.split(x, x, xi, SEGMENT).vectorize(xi)
+        conv.update().split(x, x, xi, SEGMENT).split(
+            rx, rx, rxi, TAP_BLOCK
+        ).reorder(rxi, xi, rx, x).atomic().vectorize(xi).vectorize(rxi)
+    elif variant == "cuda":
+        conv.split(x, x, xi, SEGMENT).vectorize(xi)
+        conv.update().split(x, x, xi, SEGMENT).reorder(
+            xi, rx, x
+        ).vectorize(xi)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    rng = np.random.default_rng(seed)
+    # pad the input so the 16-wide Toeplitz rows stay in bounds
+    image = f16_random(rng, (rows, width + taps + TAP_BLOCK))
+    kernel = f16_random(rng, taps) / np.float16(taps)
+    inputs = {I: image, K: kernel}
+
+    return App(
+        name="conv1d",
+        variant=variant,
+        output=output,
+        inputs=inputs,
+        reference=lambda: reference_conv1d(image, kernel)[:, :width],
+        scale_factor=FULL_ROWS / rows,
+        kernels=1,
+        description=(
+            f"1-D convolution, {taps} taps, {FULL_ROWS}x{width} image"
+        ),
+    )
+
+
+def theoretical_macs(taps: int) -> int:
+    """The paper's footnote-7 ideal work: (4096 - k) * 4096 * k."""
+    return (FULL_WIDTH - taps) * FULL_ROWS * taps
+
+
+def theoretical_io_bytes(taps: int) -> int:
+    """Ideal IO: input + output, fp16 in / fp32 out."""
+    return FULL_ROWS * (FULL_WIDTH + taps) * 2 + FULL_ROWS * FULL_WIDTH * 4

@@ -1,0 +1,103 @@
+"""2-D convolution (paper §V-A, Figs. 7/8).
+
+The 2-D kernel is parametrized over one reduction axis (``ry`` stays a
+serial outer loop), reducing each row of the stencil to the 1-D
+convolution pattern HARDBOILED already lowers (§V-A: "This
+parametrization step, when reflected in Halide schedules, is equivalent
+to leaving ry as a serial outer loop").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import frontend as hl
+from .common import App, f16_random
+
+FULL_ROWS = 2048
+FULL_WIDTH = 2048
+SEGMENT = 256
+TAP_BLOCK = 8
+
+
+def reference_conv2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    ky, kx = kernel.shape
+    img = image.astype(np.float32)
+    k32 = kernel.astype(np.float32)
+    out_h = img.shape[0] - ky + 1
+    out_w = img.shape[1] - kx + 1
+    out = np.zeros((out_h, out_w), dtype=np.float32)
+    for dy in range(ky):
+        for dx in range(kx):
+            out += k32[dy, dx] * img[dy : dy + out_h, dx : dx + out_w]
+    return out
+
+
+def build(
+    variant: str,
+    taps: int = 16,
+    width: int = 1024,
+    rows: int = 16,
+    seed: int = 1,
+) -> App:
+    """2-D convolution with a ``taps x taps`` kernel."""
+    if taps % TAP_BLOCK != 0:
+        raise ValueError(f"taps must be a multiple of {TAP_BLOCK}")
+
+    K = hl.ImageParam(hl.Float(16), 2, name="K2")
+    I = hl.ImageParam(hl.Float(16), 2, name="I2")
+    x, y = hl.Var("x"), hl.Var("y")
+    xi, rxi = hl.Var("xi"), hl.Var("rxi")
+    r = hl.RDom([(0, taps), (0, taps)], name="r2")
+    conv = hl.Func("conv2")
+    output = hl.Func("output2")
+    conv[x, y] = 0.0
+    conv[x, y] += hl.f32(K[r.x, r.y]) * hl.f32(I[x + r.x, y + r.y])
+    output[x, y] = conv[x, y]
+    output.bound(x, 0, width).bound(y, 0, rows)
+
+    output.split(x, x, xi, SEGMENT).vectorize(xi).gpu_blocks(x, y)
+    conv.compute_at(output, x)
+    if variant == "tensor":
+        conv.store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+        conv.split(x, x, xi, SEGMENT).vectorize(xi)
+        # ry serial outermost; rx blocked onto the tensor unit
+        conv.update().split(x, x, xi, SEGMENT).split(
+            "r2.x", "r2.x", rxi, TAP_BLOCK
+        ).reorder(rxi, xi, "r2.x", x, "r2.y").atomic().vectorize(
+            xi
+        ).vectorize(rxi)
+    elif variant == "cuda":
+        conv.split(x, x, xi, SEGMENT).vectorize(xi)
+        conv.update().split(x, x, xi, SEGMENT).reorder(
+            xi, "r2.x", "r2.y", x
+        ).vectorize(xi)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    rng = np.random.default_rng(seed)
+    image = f16_random(rng, (rows + taps, width + taps + TAP_BLOCK))
+    kernel = f16_random(rng, (taps, taps)) / np.float16(taps)
+    inputs = {I: image, K: kernel}
+
+    return App(
+        name="conv2d",
+        variant=variant,
+        output=output,
+        inputs=inputs,
+        reference=lambda: reference_conv2d(image, kernel)[:rows, :width],
+        scale_factor=(FULL_ROWS * FULL_WIDTH) / (rows * width),
+        kernels=1,
+        description=f"2-D convolution, {taps}x{taps} kernel",
+    )
+
+
+def theoretical_macs(taps: int) -> int:
+    return FULL_ROWS * FULL_WIDTH * taps * taps
+
+
+def theoretical_io_bytes(taps: int) -> int:
+    return (
+        (FULL_ROWS + taps) * (FULL_WIDTH + taps) * 2
+        + FULL_ROWS * FULL_WIDTH * 4
+    )

@@ -1,0 +1,133 @@
+"""Convolutional layer with fused bias + ReLU (paper §IV, Fig. 4).
+
+``O(co, x, y) = ReLU(bias(co) + sum_{ci,dx,dy} W(co, ci, dx, dy)
+* I(ci, x+dx, y+dy))`` — the cuDNN
+``ConvolutionBiasActivationForward`` primitive.  With channels innermost
+(NCHW-ish) each (dx, dy) tap is a GEMM over ``ci``: the m16n16k16 WMMA
+rule fires with the pixel dimension as M and output channels as N.  The
+bias + ReLU epilogue reads the accumulator tile directly (a WMMA2Mem
+fragment read), keeping everything in one fused kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import frontend as hl
+from .common import App, f16_random, f32_random
+
+TILE = 16
+FULL_BATCH = 4096
+FULL_H = 64
+FULL_W = 64
+KERNEL = 3
+
+
+def reference_conv_layer(
+    image: np.ndarray, weights: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """image: (y, x, ci) fp16; weights: (dy, dx, ci, co); bias: (co,)."""
+    img = image.astype(np.float32)
+    w = weights.astype(np.float32)
+    out_h = img.shape[0] - KERNEL + 1
+    out_w = img.shape[1] - KERNEL + 1
+    co = w.shape[3]
+    out = np.zeros((out_h, out_w, co), dtype=np.float32)
+    for dy in range(KERNEL):
+        for dx in range(KERNEL):
+            patch = img[dy : dy + out_h, dx : dx + out_w, :]
+            out += patch @ w[dy, dx]
+    out += bias.astype(np.float32)
+    return np.maximum(out, 0.0)
+
+
+def build(
+    variant: str,
+    channels: int = 16,
+    width: int = 64,
+    rows: int = 4,
+    seed: int = 6,
+) -> App:
+    """``channels`` input channels -> ``channels`` output channels."""
+    if channels % TILE != 0:
+        raise ValueError(f"channels must be a multiple of {TILE}")
+    if width % TILE != 0:
+        raise ValueError(f"width must be a multiple of {TILE}")
+
+    # I(ci, x, y): channels innermost.  W(co, ci, dx, dy): output
+    # channels innermost so the B operand pattern is unit-stride in co.
+    I = hl.ImageParam(hl.Float(16), 3, name="Icl")
+    W = hl.ImageParam(hl.Float(16), 4, name="Wcl")
+    Bias = hl.ImageParam(hl.Float(32), 1, name="BiasCl")
+    co, x, y = hl.Var("co"), hl.Var("x"), hl.Var("y")
+    xi, coi, rci = hl.Var("xi"), hl.Var("coi"), hl.Var("rci")
+    r = hl.RDom(
+        [(0, channels), (0, KERNEL), (0, KERNEL)], name="rcl"
+    )  # (ci, dx, dy)
+    f = hl.Func("convlayer")
+    out = hl.Func("convlayer_relu")
+    f[co, x, y] = 0.0
+    f[co, x, y] += hl.f32(I[r.x, x + r.y, y + r[2]]) * hl.f32(
+        W[co, r.x, r.y, r[2]]
+    )
+    out[co, x, y] = hl.maximum(f[co, x, y] + Bias[co], 0.0)
+    out.bound(co, 0, channels).bound(x, 0, width).bound(y, 0, rows)
+
+    out.split(x, x, xi, TILE).split(co, co, coi, TILE).reorder(
+        coi, xi, co, x, y
+    ).vectorize(coi).vectorize(xi).gpu_blocks(x, y)
+    f.compute_at(out, "x")
+    if variant == "tensor":
+        f.store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+    elif variant != "cuda":
+        raise ValueError(f"unknown variant {variant!r}")
+    f.vectorize(co, TILE).vectorize(x, TILE)
+    f.update().split("rcl.x", "rcl.x", rci, TILE).split(
+        co, co, coi, TILE
+    ).split(x, x, xi, TILE).reorder(
+        rci, coi, xi, "rcl.x", co, x, "rcl.y", "rcl.z"
+    ).atomic().vectorize(rci).vectorize(coi).vectorize(xi)
+
+    rng = np.random.default_rng(seed)
+    image_yxc = f16_random(
+        rng, (rows + KERNEL, width + KERNEL + TILE, channels)
+    ) / np.float16(2)
+    weights_yxio = f16_random(
+        rng, (KERNEL, KERNEL, channels, channels)
+    ) / np.float16(channels)
+    bias = f32_random(rng, channels)
+    # I(ci, x, y): numpy axes reversed -> (y, x, ci)
+    inputs = {
+        I: image_yxc,
+        # W(co, ci, dx, dy) -> numpy (dy, dx, ci, co)
+        W: weights_yxio,
+        Bias: bias,
+    }
+
+    def reference():
+        ref = reference_conv_layer(image_yxc, weights_yxio, bias)
+        return ref[:rows, :width, :]
+
+    full_work = FULL_BATCH * FULL_H * FULL_W
+    return App(
+        name="conv_layer",
+        variant=variant,
+        output=out,
+        inputs=inputs,
+        reference=reference,
+        scale_factor=full_work / (rows * width),
+        kernels=1,
+        description=(
+            f"conv layer {KERNEL}x{KERNEL}, {channels} channels, fused"
+            " bias+ReLU"
+        ),
+    )
+
+
+def theoretical_macs(channels: int) -> int:
+    return FULL_BATCH * FULL_H * FULL_W * KERNEL * KERNEL * channels * channels
+
+
+def theoretical_io_bytes(channels: int) -> int:
+    pixels = FULL_BATCH * FULL_H * FULL_W
+    return pixels * channels * 2 + pixels * channels * 4

@@ -1,0 +1,179 @@
+"""DCT-based denoising — transform-domain coring (paper §V-E).
+
+Each windowed 16x16 tile is transformed (``D @ X @ D^T``), small
+coefficients are zeroed (coring), and the transform is inverted
+(``D^T @ Y @ D``) — four chained MatMuls per tile with a *non-linear*
+operation between them, all fused into one kernel.  A library-based
+implementation would need four separate GEMM launches and lose the
+fusion entirely (§V-E's closing argument).
+
+The coring step consumes WMMA accumulator tiles directly (a fragment
+read) and feeds the next MMA through a small staging buffer, exactly the
+fused structure the paper describes.  Tile extraction, windowing, and
+the final overlapped blend are numpy glue around the compiled transform
+kernel (the blend kernel is modeled separately in the benchmark — the
+paper also reports it as a second kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .. import frontend as hl
+from ..linalg import dct_matrix
+from ..runtime import Counters
+from ..runtime.executor import CompiledPipeline
+from ..lowering import lower
+from ..hardboiled import select_instructions
+
+TILE = 16
+FULL_PIXELS = 1024 * 1024 * 3  # one megapixel, three channels
+CORING_THRESHOLD = 0.5
+
+
+def window_2d() -> np.ndarray:
+    """A separable raised-cosine window for overlap-add blending."""
+    w = 0.5 - 0.5 * np.cos(2 * np.pi * (np.arange(TILE) + 0.5) / TILE)
+    return np.outer(w, w).astype(np.float32)
+
+
+def reference_transform(tiles: np.ndarray, threshold: float) -> np.ndarray:
+    """tiles: (t, 16, 16) -> cored reconstruction, fp32."""
+    d = dct_matrix(TILE).astype(np.float32)
+    out = np.empty_like(tiles, dtype=np.float32)
+    for t in range(tiles.shape[0]):
+        coeffs = d @ tiles[t].astype(np.float32) @ d.T
+        cored = np.where(np.abs(coeffs) < threshold, 0.0, coeffs)
+        out[t] = d.T @ cored @ d
+    return out
+
+
+@dataclass
+class DCTDenoiseApp:
+    variant: str
+    num_tiles: int
+    tiles: np.ndarray  # (t, 16, 16) float16
+    scale_factor: float
+    kernels: int = 2  # transform + blend
+
+    def __post_init__(self):
+        self._build_pipeline()
+
+    def _build_pipeline(self):
+        # Xt(j, i, t): input tiles; Dm(u, k) the DCT matrix with its
+        # transpose laid out for unit-stride operand patterns
+        Xt = hl.ImageParam(hl.Float(16), 3, name="Xtd")
+        Dm = hl.ImageParam(hl.Float(16), 2, name="Dmd")  # (k, u): D[u,k]
+        Dt = hl.ImageParam(hl.Float(16), 2, name="Dtd")  # (u, k): D[u,k]
+        i, j, t = hl.Var("i"), hl.Var("j"), hl.Var("t")
+        u, v, w = hl.Var("u"), hl.Var("v"), hl.Var("w")
+        rk = hl.RDom(0, TILE, name="rkd")
+        rk2 = hl.RDom(0, TILE, name="rk2d")
+        rk3 = hl.RDom(0, TILE, name="rk3d")
+        rk4 = hl.RDom(0, TILE, name="rk4d")
+
+        # stage 1: S1(j, u, t) = sum_k D(u, k) X(j, k, t)  [transform rows]
+        s1 = hl.Func("dcts1")
+        s1[j, u, t] = 0.0
+        s1[j, u, t] += hl.f32(Dm[rk, u]) * hl.f32(Xt[j, rk, t])
+        s1f = hl.Func("dcts1f")
+        s1f[j, u, t] = hl.f16(s1[j, u, t])
+
+        # stage 2: S2(v, u, t) = sum_k S1(k, u, t) D(v, k) [cols] + coring
+        s2 = hl.Func("dcts2")
+        s2[v, u, t] = 0.0
+        s2[v, u, t] += hl.f32(s1f[rk2, u, t]) * hl.f32(Dt[v, rk2])
+        cored = hl.Func("dctcored")
+        s2v = s2[v, u, t]
+        cored[v, u, t] = hl.f16(
+            hl.select(hl.abs_(s2v) < CORING_THRESHOLD, 0.0, s2v)
+        )
+
+        # stage 3: S3(v, w, t) = sum_k Dt(k, w)? -> inverse along rows
+        # S3(v, w, t) = sum_k D(k, w) cored(v, k, t)  (D^T on the left)
+        s3 = hl.Func("dcts3")
+        s3[v, w, t] = 0.0
+        s3[v, w, t] += hl.f32(Dt[rk3, w]) * hl.f32(cored[v, rk3, t])
+        s3f = hl.Func("dcts3f")
+        s3f[v, w, t] = hl.f16(s3[v, w, t])
+
+        # stage 4: OUT(j2, w, t) = sum_k S3(k, w, t) D(k, j2)
+        s4 = hl.Func("dcts4")
+        s4[v, w, t] = 0.0
+        s4[v, w, t] += hl.f32(s3f[rk4, w, t]) * hl.f32(Dm[v, rk4])
+        out = hl.Func("dctout")
+        out[v, w, t] = s4[v, w, t]
+        out.bound(v, 0, TILE).bound(w, 0, TILE).bound(t, 0, self.num_tiles)
+        out.vectorize(v, TILE).vectorize(w, TILE).gpu_blocks(t)
+
+        accumulators = [s1, s2, s3, s4]
+        stagings = [s1f, cored, s3f]
+        for func in accumulators:
+            func.compute_at(out, "t")
+            if self.variant == "tensor":
+                func.store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+            a, b = func.pure.args[0].name, func.pure.args[1].name
+            func.vectorize(a, TILE).vectorize(b, TILE)
+            stage = func.update()
+            rname = next(iter(stage.rvars))
+            ai, bi, ri = (
+                hl.Var(f"{func.name}ai"),
+                hl.Var(f"{func.name}bi"),
+                hl.Var(f"{func.name}ri"),
+            )
+            stage.split(rname, rname, ri, TILE).split(a, a, ai, TILE).split(
+                b, b, bi, TILE
+            ).reorder(ri, ai, bi, rname, a, b).atomic().vectorize(
+                ri
+            ).vectorize(ai).vectorize(bi)
+        for func in stagings:
+            func.compute_at(out, "t")
+            a, b = func.pure.args[0].name, func.pure.args[1].name
+            func.vectorize(a, TILE).vectorize(b, TILE)
+
+        self._params = (Xt, Dm, Dt)
+        lowered = lower(out)
+        if self.variant == "tensor":
+            lowered, self.report = select_instructions(lowered, strict=True)
+        else:
+            self.report = None
+        self.pipeline = CompiledPipeline(lowered)
+
+    def _inputs(self) -> Dict:
+        Xt, Dm, Dt = self._params
+        d = dct_matrix(TILE).astype(np.float16)
+        # Dm(k, u) holds D[u, k]: numpy (u, k) = d; Dt(u, k) holds D[u, k]
+        # transposed for the second operand: numpy (k, u) = d.T
+        return {Xt: self.tiles, Dm: d, Dt: np.ascontiguousarray(d.T)}
+
+    def run_and_measure(self):
+        counters = Counters()
+        out = self.pipeline.run(self._inputs(), counters=counters)
+        return out, counters.scaled(self.scale_factor)
+
+    def reference(self) -> np.ndarray:
+        # output (t, w, v): stage-4 index order transposes each tile
+        ref = reference_transform(self.tiles, CORING_THRESHOLD)
+        return ref
+
+    def verify(self, rtol=5e-2, atol=5e-2):
+        out, _ = self.run_and_measure()
+        np.testing.assert_allclose(out, self.reference(), rtol=rtol, atol=atol)
+        return out
+
+
+def build(variant: str, num_tiles: int = 32, seed: int = 10):
+    rng = np.random.default_rng(seed)
+    base = rng.random((num_tiles, TILE, TILE)).astype(np.float32)
+    noisy = base + 0.05 * rng.standard_normal(base.shape).astype(np.float32)
+    windowed = (noisy * window_2d()).astype(np.float16)
+    full_tiles = FULL_PIXELS / (TILE * TILE) * 4  # 4 overlapping offsets
+    return DCTDenoiseApp(
+        variant=variant,
+        num_tiles=num_tiles,
+        tiles=windowed,
+        scale_factor=full_tiles / num_tiles,
+    )

@@ -1,0 +1,105 @@
+"""Downsampling by 2 — strided convolution (paper §V-B, Figs. 7/8).
+
+``O(x, y) = sum I(2x + rx, 2y + ry) K(rx, ry)``.  The stride-2 access
+pattern lowers onto the ``A_down`` Toeplitz matrix; only four of the
+eight MMA tile columns carry valid outputs (the redundancy the paper's
+roofline discussion accepts), so segments are 128 outputs wide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import frontend as hl
+from .common import App, f16_random
+
+FULL_ROWS = 2048  # output size of a 4096^2 -> 2048^2 downsample
+FULL_WIDTH = 2048
+SEGMENT = 128
+TAP_BLOCK = 8
+
+
+def reference_downsample(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    ky, kx = kernel.shape
+    img = image.astype(np.float32)
+    k32 = kernel.astype(np.float32)
+    out_h = (img.shape[0] - ky) // 2 + 1
+    out_w = (img.shape[1] - kx) // 2 + 1
+    out = np.zeros((out_h, out_w), dtype=np.float32)
+    for dy in range(ky):
+        for dx in range(kx):
+            out += (
+                k32[dy, dx]
+                * img[dy : dy + 2 * out_h : 2, dx : dx + 2 * out_w : 2]
+            )
+    return out
+
+
+def build(
+    variant: str,
+    taps: int = 16,
+    width: int = 512,
+    rows: int = 16,
+    seed: int = 2,
+) -> App:
+    if taps % TAP_BLOCK != 0:
+        raise ValueError(f"taps must be a multiple of {TAP_BLOCK}")
+    if width % SEGMENT != 0:
+        raise ValueError(f"output width must be a multiple of {SEGMENT}")
+
+    K = hl.ImageParam(hl.Float(16), 2, name="Kd")
+    I = hl.ImageParam(hl.Float(16), 2, name="Id")
+    x, y = hl.Var("x"), hl.Var("y")
+    xi, rxi = hl.Var("xi"), hl.Var("rxi")
+    r = hl.RDom([(0, taps), (0, taps)], name="rd")
+    down = hl.Func("down")
+    output = hl.Func("outputd")
+    down[x, y] = 0.0
+    down[x, y] += hl.f32(K[r.x, r.y]) * hl.f32(I[2 * x + r.x, 2 * y + r.y])
+    output[x, y] = down[x, y]
+    output.bound(x, 0, width).bound(y, 0, rows)
+
+    output.split(x, x, xi, SEGMENT).vectorize(xi).gpu_blocks(x, y)
+    down.compute_at(output, x)
+    if variant == "tensor":
+        down.store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+        down.split(x, x, xi, SEGMENT).vectorize(xi)
+        down.update().split(x, x, xi, SEGMENT).split(
+            "rd.x", "rd.x", rxi, TAP_BLOCK
+        ).reorder(rxi, xi, "rd.x", x, "rd.y").atomic().vectorize(
+            xi
+        ).vectorize(rxi)
+    elif variant == "cuda":
+        down.split(x, x, xi, SEGMENT).vectorize(xi)
+        down.update().split(x, x, xi, SEGMENT).reorder(
+            xi, "rd.x", "rd.y", x
+        ).vectorize(xi)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    rng = np.random.default_rng(seed)
+    image = f16_random(rng, (2 * rows + taps, 2 * width + taps + 2 * TAP_BLOCK))
+    kernel = f16_random(rng, (taps, taps)) / np.float16(taps)
+    inputs = {I: image, K: kernel}
+
+    return App(
+        name="downsample",
+        variant=variant,
+        output=output,
+        inputs=inputs,
+        reference=lambda: reference_downsample(image, kernel)[:rows, :width],
+        scale_factor=(FULL_ROWS * FULL_WIDTH) / (rows * width),
+        kernels=1,
+        description=f"downsample by 2, {taps}x{taps} kernel",
+    )
+
+
+def theoretical_macs(taps: int) -> int:
+    return FULL_ROWS * FULL_WIDTH * taps * taps
+
+
+def theoretical_io_bytes(taps: int) -> int:
+    return (
+        (2 * FULL_ROWS + taps) * (2 * FULL_WIDTH + taps) * 2
+        + FULL_ROWS * FULL_WIDTH * 4
+    )

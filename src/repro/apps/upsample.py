@@ -1,0 +1,127 @@
+"""Upsampling by 2 — multiphase filtering (paper §V-B, Figs. 7/8).
+
+Upsampling is decomposed into phases (§V-B): ``O_phase(dx, x, y)``
+computes phase ``dx`` of output column ``2x + dx`` with the phase kernel
+``K_phase(rx, dx) = K(2*rx + dx)``; declaring ``dx`` as the innermost
+dimension stores phases interleaved (the paper's
+``reorder_storage(dx, ...)``) so the final output is a dense copy.
+HARDBOILED maps the phase update onto m32n8k16 MMAs against the ``A_up``
+matrix built by ``MultiphaseShuffle`` — all 8 tile columns are valid, so
+redundancy only comes from the widened 16-deep reduction.
+
+This implementation upsamples along x; the full 2-D upsample applies the
+same structure with ``ry``/``dy`` as serial outer loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import frontend as hl
+from .common import App, f16_random
+
+FULL_ROWS = 2048  # input rows of a 2048^2 -> 4096^2 upsample
+FULL_WIDTH = 2048
+SEGMENT = 128  # input positions per MMA tile (256 outputs)
+PHASE_TAPS = 8
+
+
+def reference_upsample(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """``out[2x + p] = sum_r image[x + r] * kernel[2r + p]`` per row."""
+    img = image.astype(np.float32)
+    k32 = kernel.astype(np.float32)
+    taps_half = len(kernel) // 2
+    out_w = 2 * (img.shape[1] - taps_half)
+    out = np.zeros((img.shape[0], out_w), dtype=np.float32)
+    for r in range(taps_half):
+        for p in range(2):
+            out[:, p::2] += (
+                k32[2 * r + p] * img[:, r : r + out_w // 2]
+            )
+    return out
+
+
+def build(
+    variant: str,
+    taps: int = 16,
+    width: int = 512,
+    rows: int = 4,
+    seed: int = 3,
+) -> App:
+    """Upsample-by-2 along x; ``taps`` counts the full (2-phase) kernel."""
+    if taps != 2 * PHASE_TAPS:
+        raise ValueError(
+            f"the multiphase tile geometry is built for {2 * PHASE_TAPS}"
+            " taps (8 per phase)"
+        )
+    if width % SEGMENT != 0:
+        raise ValueError(f"input width must be a multiple of {SEGMENT}")
+
+    K = hl.ImageParam(hl.Float(16), 1, name="Ku")
+    I = hl.ImageParam(hl.Float(16), 2, name="Iu")
+    dx, x, y = hl.Var("dx"), hl.Var("x"), hl.Var("y")
+    xi, rxi = hl.Var("xi"), hl.Var("rxi")
+    rx = hl.RDom(0, PHASE_TAPS, name="rxu")
+    oph = hl.Func("oph")
+    output = hl.Func("outputu")
+    oph[dx, x, y] = 0.0
+    oph[dx, x, y] += hl.f32(K[2 * rx + dx]) * hl.f32(I[x + rx, y])
+    output[dx, x, y] = oph[dx, x, y]
+    output.bound(dx, 0, 2).bound(x, 0, width).bound(y, 0, rows)
+
+    output.split(x, x, xi, SEGMENT).vectorize(xi).vectorize(dx).gpu_blocks(
+        x, y
+    )
+    oph.compute_at(output, x)
+    if variant == "tensor":
+        oph.store_in(hl.MemoryType.WMMA_ACCUMULATOR)
+        oph.split(x, x, xi, SEGMENT).reorder(dx, xi, x).vectorize(
+            dx
+        ).vectorize(xi)
+        oph.update().split(x, x, xi, SEGMENT).split(
+            rx, rx, rxi, PHASE_TAPS
+        ).reorder(rxi, dx, xi, rx, x).atomic().vectorize(rxi).vectorize(
+            dx
+        ).vectorize(xi)
+    elif variant == "cuda":
+        oph.split(x, x, xi, SEGMENT).reorder(dx, xi, x).vectorize(
+            dx
+        ).vectorize(xi)
+        oph.update().split(x, x, xi, SEGMENT).reorder(
+            dx, xi, rx, x
+        ).vectorize(dx).vectorize(xi)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    rng = np.random.default_rng(seed)
+    image = f16_random(rng, (rows, width + taps))
+    kernel = f16_random(rng, taps) / np.float16(taps)
+    inputs = {I: image, K: kernel}
+
+    def reference():
+        full = reference_upsample(image, kernel)
+        # output layout: (y, x, dx) innermost dx == interleaved phases
+        return full[:, : 2 * width].reshape(rows, width, 2)
+
+    return App(
+        name="upsample",
+        variant=variant,
+        output=output,
+        inputs=inputs,
+        reference=reference,
+        scale_factor=(FULL_ROWS * FULL_WIDTH) / (rows * width),
+        kernels=1,
+        description=f"upsample by 2, {taps}-tap multiphase kernel",
+    )
+
+
+def theoretical_macs(taps: int = 16) -> int:
+    # every output pixel needs taps/2 MACs; 2x width outputs
+    return 2 * FULL_ROWS * FULL_WIDTH * (taps // 2)
+
+
+def theoretical_io_bytes(taps: int = 16) -> int:
+    return (
+        FULL_ROWS * (FULL_WIDTH + taps) * 2
+        + 2 * FULL_ROWS * FULL_WIDTH * 4
+    )

@@ -1,0 +1,197 @@
+"""An egg-style E-graph: hashcons + union-find + deferred rebuilding.
+
+Follows Willsey et al. (POPL'21): ``union`` only merges the union-find and
+defers congruence repair to ``rebuild``, which processes a worklist of
+touched classes.  Relations (egglog-style Datalog facts over e-classes)
+live alongside the term structure and are re-canonicalized on rebuild.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .language import ENode, Head, Term
+
+
+class EClass:
+    """One equivalence class of e-nodes."""
+
+    __slots__ = ("id", "nodes", "parents")
+
+    def __init__(self, eclass_id: int) -> None:
+        self.id = eclass_id
+        self.nodes: Set[ENode] = set()
+        #: e-nodes that reference this class, with the class they live in
+        self.parents: List[Tuple[ENode, int]] = []
+
+
+class EGraph:
+    """The e-graph, including egglog-style relations."""
+
+    def __init__(self) -> None:
+        self._parent: List[int] = []
+        self.classes: Dict[int, EClass] = {}
+        self.hashcons: Dict[ENode, int] = {}
+        self.worklist: List[int] = []
+        #: relation name -> set of canonical argument tuples
+        self.relations: Dict[str, Set[Tuple[object, ...]]] = defaultdict(set)
+        #: bumps on every change; rules sets use it to detect saturation
+        self.version = 0
+
+    # -- union-find ----------------------------------------------------------
+
+    def find(self, eclass_id: int) -> int:
+        root = eclass_id
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[eclass_id] != root:
+            self._parent[eclass_id], eclass_id = root, self._parent[eclass_id]
+        return root
+
+    def _new_class(self) -> EClass:
+        eclass_id = len(self._parent)
+        self._parent.append(eclass_id)
+        eclass = EClass(eclass_id)
+        self.classes[eclass_id] = eclass
+        return eclass
+
+    # -- insertion -----------------------------------------------------------
+
+    def add_node(self, node: ENode) -> int:
+        node = node.canonicalize(self.find)
+        existing = self.hashcons.get(node)
+        if existing is not None:
+            return self.find(existing)
+        eclass = self._new_class()
+        eclass.nodes.add(node)
+        self.hashcons[node] = eclass.id
+        for child in node.args:
+            self.classes[self.find(child)].parents.append((node, eclass.id))
+        self.version += 1
+        return eclass.id
+
+    def add_term(self, term: Term) -> int:
+        args = tuple(self.add_term(a) for a in term.args)
+        return self.add_node(ENode(term.head, args))
+
+    def lookup_term(self, term: Term) -> Optional[int]:
+        """The e-class of a term if it is present, else None."""
+        args = []
+        for a in term.args:
+            child = self.lookup_term(a)
+            if child is None:
+                return None
+            args.append(child)
+        node = ENode(term.head, tuple(args)).canonicalize(self.find)
+        found = self.hashcons.get(node)
+        return self.find(found) if found is not None else None
+
+    # -- union + rebuild -------------------------------------------------------
+
+    def union(self, a: int, b: int) -> bool:
+        a, b = self.find(a), self.find(b)
+        if a == b:
+            return False
+        # merge smaller into larger to bound parent-list copying
+        if len(self.classes[a].parents) < len(self.classes[b].parents):
+            a, b = b, a
+        self._parent[b] = a
+        class_a, class_b = self.classes[a], self.classes[b]
+        class_a.nodes |= class_b.nodes
+        class_a.parents.extend(class_b.parents)
+        del self.classes[b]
+        self.worklist.append(a)
+        self.version += 1
+        return True
+
+    def rebuild(self) -> None:
+        """Restore the congruence invariant after a batch of unions."""
+        while self.worklist:
+            todo = {self.find(c) for c in self.worklist}
+            self.worklist.clear()
+            for eclass_id in todo:
+                self._repair(eclass_id)
+        self._canonicalize_relations()
+
+    def _repair(self, eclass_id: int) -> None:
+        eclass = self.classes.get(self.find(eclass_id))
+        if eclass is None:
+            return
+        # re-canonicalize every parent node; collisions imply congruence
+        new_parents: Dict[ENode, int] = {}
+        for node, owner in eclass.parents:
+            self.hashcons.pop(node, None)
+            node = node.canonicalize(self.find)
+            owner = self.find(owner)
+            if node in new_parents:
+                self.union(owner, new_parents[node])
+                owner = self.find(owner)
+            new_parents[node] = owner
+            self.hashcons[node] = owner
+        eclass = self.classes.get(self.find(eclass_id))
+        if eclass is not None:
+            eclass.parents = [
+                (node, self.find(owner)) for node, owner in new_parents.items()
+            ]
+            eclass.nodes = {n.canonicalize(self.find) for n in eclass.nodes}
+
+    def _canonicalize_relations(self) -> None:
+        for name, tuples in self.relations.items():
+            canon = set()
+            for row in tuples:
+                canon.add(
+                    tuple(
+                        self.find(v) if isinstance(v, int) else v for v in row
+                    )
+                )
+            self.relations[name] = canon
+
+    # -- relations ---------------------------------------------------------------
+
+    def assert_fact(self, name: str, row: Tuple[int, ...]) -> bool:
+        canon = tuple(self.find(v) if isinstance(v, int) else v for v in row)
+        if canon in self.relations[name]:
+            return False
+        self.relations[name].add(canon)
+        self.version += 1
+        return True
+
+    def facts(self, name: str) -> Set[Tuple[object, ...]]:
+        return self.relations.get(name, set())
+
+    # -- queries -------------------------------------------------------------------
+
+    def eclass_ids(self) -> Iterator[int]:
+        return iter(list(self.classes.keys()))
+
+    def nodes_of(self, eclass_id: int) -> Set[ENode]:
+        return self.classes[self.find(eclass_id)].nodes
+
+    def nodes_by_head(self) -> Dict[Head, List[Tuple[int, ENode]]]:
+        """Index of (class, node) by head, over canonical classes."""
+        index: Dict[Head, List[Tuple[int, ENode]]] = defaultdict(list)
+        for eclass_id, eclass in self.classes.items():
+            for node in eclass.nodes:
+                index[node.head].append((eclass_id, node))
+        return index
+
+    def literal_value(self, eclass_id: int) -> Optional[object]:
+        """The payload if this class contains a literal node."""
+        for node in self.nodes_of(eclass_id):
+            if isinstance(node.head, tuple):
+                return node.head[1]
+        return None
+
+    def add_literal(self, kind: str, value: object) -> int:
+        return self.add_node(ENode((kind, value), ()))
+
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def num_nodes(self) -> int:
+        return sum(len(c.nodes) for c in self.classes.values())
+
+    def equivalent(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)

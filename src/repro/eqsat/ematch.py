@@ -1,0 +1,158 @@
+"""E-matching: finding all assignments of pattern variables to e-classes.
+
+The matcher works against a snapshot index of the e-graph (nodes grouped
+by head).  Bindings map variable names to e-class ids.  Primitive
+arithmetic (``*``, ``%``, ...) is evaluated over literal payloads, both in
+guards and when instantiating action patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from .egraph import EGraph
+from .language import ENode
+from .pattern import PRIMITIVE_OPS, PApp, PLit, Pattern, PVar
+
+Bindings = Dict[str, int]
+
+
+class MatchError(RuntimeError):
+    pass
+
+
+class Matcher:
+    """Matches patterns against one e-graph snapshot."""
+
+    def __init__(self, egraph: EGraph) -> None:
+        self.egraph = egraph
+        self.index = egraph.nodes_by_head()
+
+    # -- structural matching -------------------------------------------------
+
+    def match_in_class(
+        self, pattern: Pattern, eclass_id: int, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        """All ways ``pattern`` matches inside the given e-class."""
+        egraph = self.egraph
+        eclass_id = egraph.find(eclass_id)
+        if isinstance(pattern, PVar):
+            bound = bindings.get(pattern.name)
+            if bound is not None:
+                if egraph.find(bound) == eclass_id:
+                    yield bindings
+                return
+            new = dict(bindings)
+            new[pattern.name] = eclass_id
+            yield new
+            return
+        if isinstance(pattern, PLit):
+            value = egraph.literal_value(eclass_id)
+            if value is not None and value == pattern.value:
+                yield bindings
+            return
+        # PApp over an operator head
+        for node in list(egraph.nodes_of(eclass_id)):
+            if node.head != pattern.head or len(node.args) != len(pattern.args):
+                continue
+            yield from self._match_args(pattern.args, node.args, bindings, 0)
+
+    def _match_args(self, patterns, arg_ids, bindings, i) -> Iterator[Bindings]:
+        if i == len(patterns):
+            yield bindings
+            return
+        for partial in self.match_in_class(patterns[i], arg_ids[i], bindings):
+            yield from self._match_args(patterns, arg_ids, partial, i + 1)
+
+    def match_anywhere(
+        self, pattern: Pattern, bindings: Bindings
+    ) -> Iterator[tuple]:
+        """Yield ``(eclass_id, bindings)`` for matches anywhere in the graph."""
+        if isinstance(pattern, PVar) and pattern.name in bindings:
+            root = self.egraph.find(bindings[pattern.name])
+            yield root, bindings
+            return
+        if isinstance(pattern, PApp):
+            for eclass_id, _node in self.index.get(pattern.head, ()):  # noqa: B007
+                eclass_id = self.egraph.find(eclass_id)
+                for out in self.match_in_class(pattern, eclass_id, bindings):
+                    yield eclass_id, out
+            return
+        # bare variable or literal: enumerate all classes
+        for eclass_id in self.egraph.eclass_ids():
+            if eclass_id not in self.egraph.classes:
+                continue
+            for out in self.match_in_class(pattern, eclass_id, bindings):
+                yield self.egraph.find(eclass_id), out
+
+    # -- primitive evaluation ---------------------------------------------------
+
+    def eval_value(self, pattern: Pattern, bindings: Bindings):
+        """Evaluate a computational pattern to a Python value, or None."""
+        return eval_value(self.egraph, pattern, bindings)
+
+
+def eval_value(egraph: EGraph, pattern: Pattern, bindings: Bindings):
+    if isinstance(pattern, PLit):
+        return pattern.value
+    if isinstance(pattern, PVar):
+        eclass = bindings.get(pattern.name)
+        if eclass is None:
+            return None
+        return egraph.literal_value(eclass)
+    if isinstance(pattern, PApp) and pattern.head in PRIMITIVE_OPS:
+        values = [eval_value(egraph, a, bindings) for a in pattern.args]
+        if any(v is None for v in values):
+            return None
+        return _apply_prim(pattern.head, values)
+    return None
+
+
+def _apply_prim(op: str, values):
+    acc = values[0]
+    for v in values[1:]:
+        if op == "*":
+            acc = acc * v
+        elif op == "+":
+            acc = acc + v
+        elif op == "-":
+            acc = acc - v
+        elif op == "/":
+            if isinstance(acc, int) and isinstance(v, int):
+                if v == 0:
+                    raise MatchError("division by zero in primitive")
+                acc = acc // v
+            else:
+                acc = acc / v
+        elif op == "%":
+            if v == 0:
+                raise MatchError("modulo by zero in primitive")
+            acc = acc % v
+        else:
+            raise MatchError(f"unknown primitive {op!r}")
+    return acc
+
+
+def instantiate(egraph: EGraph, pattern: Pattern, bindings: Bindings) -> int:
+    """Build (or look up) the e-class for a pattern under bindings.
+
+    Primitive-op applications are folded into literals; structural heads
+    become new e-nodes.
+    """
+    if isinstance(pattern, PVar):
+        eclass = bindings.get(pattern.name)
+        if eclass is None:
+            raise MatchError(f"unbound variable {pattern.name!r} in action")
+        return egraph.find(eclass)
+    if isinstance(pattern, PLit):
+        return egraph.add_literal(pattern.kind, pattern.value)
+    if pattern.head in PRIMITIVE_OPS:
+        value = eval_value(egraph, pattern, bindings)
+        if value is None:
+            raise MatchError(
+                f"cannot evaluate primitive {pattern} — non-literal operand"
+            )
+        kind = "i64" if isinstance(value, int) else "f64"
+        return egraph.add_literal(kind, value)
+    args = tuple(instantiate(egraph, a, bindings) for a in pattern.args)
+    return egraph.add_node(ENode(pattern.head, args))

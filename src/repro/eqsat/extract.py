@@ -1,0 +1,100 @@
+"""Cost-based extraction of the best term from an e-graph.
+
+The paper's cost model is AST size (§III-D.3): the schedule already pins
+*where* computation happens, so instruction selection is hit-or-miss and a
+small-is-better cost suffices.  ``ExprVar`` (a materialized temporary) is
+special: its subtree is computed once outside the hot loop, so its
+children contribute only epsilon — enough to keep costs strictly
+monotonic (and extraction cycle-free) without penalizing swizzles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .egraph import EGraph
+from .language import ENode, Term
+
+
+@dataclass
+class CostModel:
+    """Per-head base costs; default is 1 per node (AST size)."""
+
+    base_costs: Dict[str, float] = field(default_factory=dict)
+    default_cost: float = 1.0
+    #: heads whose children are charged at this discounted rate
+    hoisted_heads: Dict[str, float] = field(
+        default_factory=lambda: {"ExprVar": 1e-3}
+    )
+
+    def node_cost(self, node: ENode, child_costs) -> float:
+        if isinstance(node.head, tuple):
+            return 0.5  # literals are cheap
+        base = self.base_costs.get(node.head, self.default_cost)
+        scale = self.hoisted_heads.get(node.head, 1.0)
+        return base + scale * sum(child_costs)
+
+
+class ExtractionError(RuntimeError):
+    pass
+
+
+def compute_costs(
+    egraph: EGraph, cost_model: Optional[CostModel] = None
+) -> Dict[int, Tuple[float, ENode]]:
+    """Fixpoint computation of the cheapest (cost, node) per e-class."""
+    cost_model = cost_model or CostModel()
+    best: Dict[int, Tuple[float, ENode]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for eclass_id in list(egraph.classes.keys()):
+            for node in egraph.nodes_of(eclass_id):
+                child_entries = [best.get(egraph.find(a)) for a in node.args]
+                if any(c is None for c in child_entries):
+                    continue
+                cost = cost_model.node_cost(
+                    node, [c[0] for c in child_entries]
+                )
+                current = best.get(eclass_id)
+                if current is None or cost < current[0] - 1e-12:
+                    best[eclass_id] = (cost, node)
+                    changed = True
+    return best
+
+
+def extract_best(
+    egraph: EGraph,
+    root: int,
+    cost_model: Optional[CostModel] = None,
+    costs: Optional[Dict[int, Tuple[float, ENode]]] = None,
+) -> Term:
+    """The cheapest term represented by ``root``'s e-class."""
+    if costs is None:
+        costs = compute_costs(egraph, cost_model)
+    root = egraph.find(root)
+
+    def build(eclass_id: int, depth: int) -> Term:
+        if depth > 10_000:
+            raise ExtractionError("extraction recursion limit — cyclic costs?")
+        entry = costs.get(egraph.find(eclass_id))
+        if entry is None:
+            raise ExtractionError(
+                f"e-class {eclass_id} has no extractable term"
+            )
+        _, node = entry
+        return Term(node.head, tuple(build(a, depth + 1) for a in node.args))
+
+    return build(root, 0)
+
+
+def extraction_cost(
+    egraph: EGraph, root: int, cost_model: Optional[CostModel] = None
+) -> float:
+    costs = compute_costs(egraph, cost_model)
+    entry = costs.get(egraph.find(root))
+    if entry is None:
+        raise ExtractionError(f"e-class {root} has no extractable term")
+    return entry[0]

@@ -1,0 +1,361 @@
+"""Rules: egglog-style rewrites, queries, and actions.
+
+A rule has a *query* (a conjunction of atoms) and *actions*.  Atoms:
+
+* ``TermAtom(var, pattern)`` — ``(= var (Op ...))``; matches the pattern
+  anywhere in the e-graph and binds ``var`` to the matched class.
+* ``RelAtom(name, args)`` — ``(rel a b)``; matches stored relation rows.
+* ``GuardAtom(op, args)`` — primitive predicates over literal payloads,
+  e.g. ``(> l2 l1)`` or ``(= 0 (% l2 l1))``.  A guard ``(= x <expr>)``
+  with ``x`` unbound *binds* ``x`` to the computed literal (egglog-style
+  primitive evaluation).
+
+Actions: ``LetAction`` (bind a constructed term), ``UnionAction``,
+``FactAction`` (assert a relation row).
+
+Rules can be written programmatically or parsed from egglog-ish text via
+:func:`parse_program`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from .egraph import EGraph
+from .ematch import Bindings, MatchError, Matcher, eval_value, instantiate
+from .pattern import PRIMITIVE_OPS, PApp, PLit, Pattern, PVar, parse_pattern
+from .sexpr import parse_all
+
+COMPARISON_OPS = {">", "<", ">=", "<=", "!=", "="}
+
+
+@dataclass(frozen=True)
+class TermAtom:
+    var: Optional[str]  # None = existence check only
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class RelAtom:
+    name: str
+    args: Tuple[Pattern, ...]
+
+
+@dataclass(frozen=True)
+class GuardAtom:
+    op: str
+    args: Tuple[Pattern, ...]
+
+
+Atom = Union[TermAtom, RelAtom, GuardAtom]
+
+
+@dataclass(frozen=True)
+class LetAction:
+    name: str
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class UnionAction:
+    a: Pattern
+    b: Pattern
+
+
+@dataclass(frozen=True)
+class FactAction:
+    name: str
+    args: Tuple[Pattern, ...]
+
+
+Action = Union[LetAction, UnionAction, FactAction]
+
+
+@dataclass
+class Rule:
+    name: str
+    query: List[Atom]
+    actions: List[Action]
+
+    def __str__(self) -> str:
+        return f"<rule {self.name}: {len(self.query)} atoms>"
+
+
+def rewrite(
+    name: str, lhs: Pattern, rhs: Pattern, when: Sequence[Atom] = ()
+) -> Rule:
+    """``(rewrite lhs rhs :when (...))`` sugar."""
+    root = PVar("__root")
+    if isinstance(lhs, PVar):
+        # bare-variable LHS (e.g. grounded by an IsExpr relation): run the
+        # side conditions first so the variable is bound by a relation row
+        # rather than enumerating every e-class
+        query: List[Atom] = [*when, TermAtom("__root", lhs)]
+    else:
+        query = [TermAtom("__root", lhs), *when]
+    return Rule(name, query, [UnionAction(root, rhs)])
+
+
+# -- matching a whole query ---------------------------------------------------
+
+
+def _match_query(
+    matcher: Matcher, atoms: Sequence[Atom], bindings: Bindings, i: int
+) -> Iterator[Bindings]:
+    if i == len(atoms):
+        yield bindings
+        return
+    atom = atoms[i]
+    egraph = matcher.egraph
+    if isinstance(atom, TermAtom):
+        for eclass_id, partial in matcher.match_anywhere(atom.pattern, bindings):
+            if atom.var is not None:
+                bound = partial.get(atom.var)
+                if bound is not None and egraph.find(bound) != eclass_id:
+                    continue
+                partial = dict(partial)
+                partial[atom.var] = eclass_id
+            yield from _match_query(matcher, atoms, partial, i + 1)
+        return
+    if isinstance(atom, RelAtom):
+        for row in list(egraph.facts(atom.name)):
+            if len(row) != len(atom.args):
+                continue
+            for partial in _match_row(matcher, atom.args, row, bindings, 0):
+                yield from _match_query(matcher, atoms, partial, i + 1)
+        return
+    if isinstance(atom, GuardAtom):
+        for partial in _eval_guard(matcher, atom, bindings):
+            yield from _match_query(matcher, atoms, partial, i + 1)
+        return
+    raise MatchError(f"unknown atom {atom!r}")
+
+
+def _match_row(
+    matcher: Matcher, patterns, row, bindings: Bindings, i: int
+) -> Iterator[Bindings]:
+    if i == len(patterns):
+        yield bindings
+        return
+    value = row[i]
+    if not isinstance(value, int):
+        raise MatchError(f"relation row holds non-eclass value {value!r}")
+    for partial in matcher.match_in_class(patterns[i], value, bindings):
+        yield from _match_row(matcher, patterns, row, partial, i + 1)
+
+
+def _eval_guard(
+    matcher: Matcher, atom: GuardAtom, bindings: Bindings
+) -> Iterator[Bindings]:
+    egraph = matcher.egraph
+    if atom.op == "=":
+        lhs, rhs = atom.args
+        lhs_value = eval_value(egraph, lhs, bindings)
+        rhs_value = eval_value(egraph, rhs, bindings)
+        if lhs_value is not None and rhs_value is not None:
+            if lhs_value == rhs_value:
+                yield bindings
+            return
+        # one side unbound variable: bind it to the computed literal
+        for unbound, value in ((lhs, rhs_value), (rhs, lhs_value)):
+            if (
+                isinstance(unbound, PVar)
+                and unbound.name not in bindings
+                and value is not None
+            ):
+                kind = "i64" if isinstance(value, int) else "f64"
+                new = dict(bindings)
+                new[unbound.name] = egraph.add_literal(kind, value)
+                yield new
+                return
+        # fall back to e-class equality for bound, non-literal vars
+        if isinstance(lhs, PVar) and isinstance(rhs, PVar):
+            a, b = bindings.get(lhs.name), bindings.get(rhs.name)
+            if a is not None and b is not None and egraph.find(a) == egraph.find(b):
+                yield bindings
+            return
+        return
+    values = [eval_value(egraph, a, bindings) for a in atom.args]
+    if any(v is None for v in values):
+        return
+    a, b = values
+    ok = {
+        ">": a > b,
+        "<": a < b,
+        ">=": a >= b,
+        "<=": a <= b,
+        "!=": a != b,
+    }[atom.op]
+    if ok:
+        yield bindings
+
+
+def find_matches(matcher: Matcher, rule: Rule) -> List[Bindings]:
+    return list(_match_query(matcher, rule.query, {}, 0))
+
+
+# -- applying actions ----------------------------------------------------------
+
+
+def apply_actions(egraph: EGraph, rule: Rule, bindings: Bindings) -> None:
+    env = dict(bindings)
+    for action in rule.actions:
+        if isinstance(action, LetAction):
+            env[action.name] = instantiate(egraph, action.pattern, env)
+        elif isinstance(action, UnionAction):
+            a = instantiate(egraph, action.a, env)
+            b = instantiate(egraph, action.b, env)
+            egraph.union(a, b)
+        elif isinstance(action, FactAction):
+            row = tuple(instantiate(egraph, p, env) for p in action.args)
+            egraph.assert_fact(action.name, row)
+        else:
+            raise MatchError(f"unknown action {action!r}")
+
+
+@dataclass
+class RunStats:
+    iterations: int = 0
+    total_matches: int = 0
+    seconds: float = 0.0
+    saturated: bool = False
+    matches_per_rule: Dict[str, int] = field(default_factory=dict)
+
+
+def run_rules(
+    egraph: EGraph, rules: Sequence[Rule], iterations: int = 1
+) -> RunStats:
+    """Run ``iterations`` rounds: match all rules, apply, rebuild."""
+    stats = RunStats()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        stats.iterations += 1
+        version_before = egraph.version
+        matcher = Matcher(egraph)
+        pending: List[Tuple[Rule, Bindings]] = []
+        for rule in rules:
+            found = find_matches(matcher, rule)
+            stats.matches_per_rule[rule.name] = (
+                stats.matches_per_rule.get(rule.name, 0) + len(found)
+            )
+            pending.extend((rule, b) for b in found)
+        stats.total_matches += len(pending)
+        for rule, bindings in pending:
+            apply_actions(egraph, rule, bindings)
+        egraph.rebuild()
+        if egraph.version == version_before:
+            stats.saturated = True
+            break
+    stats.seconds = time.perf_counter() - start
+    return stats
+
+
+def saturate(
+    egraph: EGraph, rules: Sequence[Rule], max_iterations: int = 64
+) -> RunStats:
+    """Run until no rule changes the e-graph (or the iteration cap)."""
+    stats = run_rules(egraph, rules, iterations=max_iterations)
+    return stats
+
+
+# -- parsing egglog-ish rule text ------------------------------------------------
+
+
+def _is_computational(p: Pattern) -> bool:
+    if isinstance(p, (PVar, PLit)):
+        return True
+    return p.head in PRIMITIVE_OPS and all(_is_computational(a) for a in p.args)
+
+
+def parse_atom(sexpr, relations: Set[str]) -> Atom:
+    if not isinstance(sexpr, list) or not sexpr:
+        raise ValueError(f"bad atom: {sexpr!r}")
+    head = sexpr[0]
+    if head == "=" and len(sexpr) == 3:
+        lhs = parse_pattern(sexpr[1])
+        rhs = parse_pattern(sexpr[2])
+        lhs_structural = isinstance(lhs, PApp) and lhs.head not in PRIMITIVE_OPS
+        rhs_structural = isinstance(rhs, PApp) and rhs.head not in PRIMITIVE_OPS
+        if rhs_structural and isinstance(lhs, PVar):
+            return TermAtom(lhs.name, rhs)
+        if lhs_structural and isinstance(rhs, PVar):
+            return TermAtom(rhs.name, lhs)
+        if lhs_structural and rhs_structural:
+            raise ValueError(f"cannot relate two structural patterns: {sexpr}")
+        return GuardAtom("=", (lhs, rhs))
+    if head in COMPARISON_OPS:
+        return GuardAtom(head, tuple(parse_pattern(a) for a in sexpr[1:]))
+    if head in relations:
+        return RelAtom(head, tuple(parse_pattern(a) for a in sexpr[1:]))
+    # bare structural pattern: existence check
+    return TermAtom(None, parse_pattern(sexpr))
+
+
+def parse_action(sexpr, relations: Set[str]) -> Action:
+    if not isinstance(sexpr, list) or not sexpr:
+        raise ValueError(f"bad action: {sexpr!r}")
+    head = sexpr[0]
+    if head == "let" and len(sexpr) == 3:
+        return LetAction(sexpr[1], parse_pattern(sexpr[2]))
+    if head == "union" and len(sexpr) == 3:
+        return UnionAction(parse_pattern(sexpr[1]), parse_pattern(sexpr[2]))
+    if head in relations:
+        return FactAction(head, tuple(parse_pattern(a) for a in sexpr[1:]))
+    raise ValueError(f"unknown action head {head!r}")
+
+
+def parse_program(
+    text: str, relations: Optional[Set[str]] = None
+) -> Tuple[List[Rule], Set[str]]:
+    """Parse a sequence of ``relation``/``rewrite``/``rule`` declarations.
+
+    Returns the rules plus the full set of declared relation names.
+    ``function`` declarations are treated as operator declarations (their
+    equations are ordinary rewrites in this engine) and skipped.
+    """
+    relations = set(relations or ())
+    rules: List[Rule] = []
+    counter = 0
+    for decl in parse_all(text):
+        if not isinstance(decl, list) or not decl:
+            raise ValueError(f"bad declaration: {decl!r}")
+        kind = decl[0]
+        if kind == "relation":
+            relations.add(decl[1])
+        elif kind in ("function", "datatype", "sort"):
+            continue  # structural declarations are implicit here
+        elif kind == "rewrite":
+            counter += 1
+            lhs = parse_pattern(decl[1])
+            rhs = parse_pattern(decl[2])
+            when: List[Atom] = []
+            rest = decl[3:]
+            while rest:
+                if rest[0] == ":when":
+                    when.extend(
+                        parse_atom(c, relations) for c in rest[1]
+                    )
+                    rest = rest[2:]
+                elif rest[0] == ":name":
+                    rest = rest[2:]
+                else:
+                    raise ValueError(f"unknown rewrite option {rest[0]!r}")
+            rules.append(rewrite(f"rewrite-{counter}", lhs, rhs, when))
+        elif kind == "rule":
+            counter += 1
+            atoms = [parse_atom(a, relations) for a in decl[1]]
+            actions = [parse_action(a, relations) for a in decl[2]]
+            name = f"rule-{counter}"
+            rest = decl[3:]
+            while rest:
+                if rest[0] == ":name":
+                    name = str(rest[1]).strip('"')
+                    rest = rest[2:]
+                else:
+                    raise ValueError(f"unknown rule option {rest[0]!r}")
+            rules.append(Rule(name, atoms, actions))
+        else:
+            raise ValueError(f"unknown declaration {kind!r}")
+    return rules, relations

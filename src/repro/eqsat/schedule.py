@@ -1,0 +1,61 @@
+"""Rule schedules (paper §III-D.2).
+
+HARDBOILED runs a fixed number of iterations of the axiomatic,
+application-specific, and lowering rules, interleaved with running the
+*supporting* rules (type/shape analyses) to fixpoint — supporting rules
+always saturate in finitely many steps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .egraph import EGraph
+from .rules import Rule, RunStats, run_rules, saturate
+
+
+@dataclass
+class ScheduleStats:
+    """Aggregated statistics over a phased run."""
+
+    outer_iterations: int = 0
+    main_stats: List[RunStats] = field(default_factory=list)
+    supporting_stats: List[RunStats] = field(default_factory=list)
+    seconds: float = 0.0
+    saturated: bool = False
+
+    @property
+    def total_matches(self) -> int:
+        return sum(s.total_matches for s in self.main_stats) + sum(
+            s.total_matches for s in self.supporting_stats
+        )
+
+
+def run_phased(
+    egraph: EGraph,
+    main_rules: Sequence[Rule],
+    supporting_rules: Sequence[Rule],
+    iterations: int = 4,
+    saturate_limit: int = 64,
+) -> ScheduleStats:
+    """The paper's schedule: N x (saturate supporting; run main once)."""
+    stats = ScheduleStats()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        stats.outer_iterations += 1
+        stats.supporting_stats.append(
+            saturate(egraph, supporting_rules, max_iterations=saturate_limit)
+        )
+        version_before = egraph.version
+        stats.main_stats.append(run_rules(egraph, main_rules, iterations=1))
+        if egraph.version == version_before:
+            stats.saturated = True
+            break
+    # a final supporting pass so analyses cover the last main-rule output
+    stats.supporting_stats.append(
+        saturate(egraph, supporting_rules, max_iterations=saturate_limit)
+    )
+    stats.seconds = time.perf_counter() - start
+    return stats

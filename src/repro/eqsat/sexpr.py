@@ -1,0 +1,86 @@
+"""A tiny s-expression reader for egglog-style rule text."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+SExpr = Union[int, float, str, List["SExpr"]]
+
+
+def tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c in "()":
+            tokens.append(c)
+            i += 1
+        elif c == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c.isspace():
+            i += 1
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise ValueError("unterminated string literal")
+            tokens.append(text[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in '();"':
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _atom(token: str) -> SExpr:
+    if token.startswith('"'):
+        return token  # keep quotes; parse_pattern strips them
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def parse_all(text: str) -> List[SExpr]:
+    """Parse every top-level s-expression in ``text``."""
+    tokens = tokenize(text)
+    pos = 0
+
+    def parse_one() -> SExpr:
+        nonlocal pos
+        token = tokens[pos]
+        if token == "(":
+            pos += 1
+            items: List[SExpr] = []
+            while pos < len(tokens) and tokens[pos] != ")":
+                items.append(parse_one())
+            if pos >= len(tokens):
+                raise ValueError("unbalanced parentheses")
+            pos += 1
+            return items
+        if token == ")":
+            raise ValueError("unexpected ')'")
+        pos += 1
+        return _atom(token)
+
+    out: List[SExpr] = []
+    while pos < len(tokens):
+        out.append(parse_one())
+    return out
+
+
+def parse_one(text: str) -> SExpr:
+    exprs = parse_all(text)
+    if len(exprs) != 1:
+        raise ValueError(f"expected one s-expression, got {len(exprs)}")
+    return exprs[0]

@@ -1,0 +1,194 @@
+"""Loop variables and reduction domains of the user-facing DSL."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..ir import Expr, Int, Variable
+
+_name_counter = itertools.count()
+
+
+def unique_name(prefix: str) -> str:
+    return f"{prefix}${next(_name_counter)}"
+
+
+class Var:
+    """A pure loop variable."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or unique_name("v")
+
+    def to_expr(self) -> Expr:
+        return Variable(self.name, Int(32))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    # arithmetic on Vars builds IR expressions
+    def _expr(self):
+        return self.to_expr()
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    def __radd__(self, other):
+        return other + self._expr()
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return other - self._expr()
+
+    def __mul__(self, other):
+        return self._expr() * other
+
+    def __rmul__(self, other):
+        return other * self._expr()
+
+    def __floordiv__(self, other):
+        return self._expr() / other
+
+    def __truediv__(self, other):
+        return self._expr() / other
+
+    def __mod__(self, other):
+        return self._expr() % other
+
+    def __lt__(self, other):
+        return self._expr() < other
+
+    def __le__(self, other):
+        return self._expr() <= other
+
+    def __gt__(self, other):
+        return self._expr() > other
+
+    def __ge__(self, other):
+        return self._expr() >= other
+
+
+#: live reduction variables by name; update definitions scan their free
+#: variables against this registry to recover reduction extents
+RVAR_REGISTRY: dict = {}
+
+
+class RVar(Var):
+    """One dimension of a reduction domain."""
+
+    def __init__(self, name: str, min_value: int, extent: int) -> None:
+        super().__init__(name)
+        self.min_value = int(min_value)
+        self.extent = int(extent)
+        RVAR_REGISTRY[self.name] = self
+
+    def __repr__(self) -> str:
+        return f"RVar({self.name!r}, {self.min_value}, {self.extent})"
+
+
+class RDom:
+    """A (possibly multi-dimensional) reduction domain.
+
+    ``RDom(0, 16)`` is one-dimensional and can be used directly as a
+    variable; ``RDom([(0, 3), (0, 3)], name="r")`` exposes ``r[0]``,
+    ``r[1]`` (and ``r.x``, ``r.y``).
+    """
+
+    def __init__(
+        self,
+        min_or_ranges: Union[int, Sequence[Tuple[int, int]]],
+        extent: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        base = name or unique_name("r")
+        if extent is not None:
+            ranges = [(int(min_or_ranges), int(extent))]
+        else:
+            ranges = [(int(lo), int(ext)) for lo, ext in min_or_ranges]
+        suffixes = ["x", "y", "z", "w"]
+        self.rvars: List[RVar] = []
+        for i, (lo, ext) in enumerate(ranges):
+            if len(ranges) == 1:
+                rname = base
+            else:
+                rname = f"{base}.{suffixes[i] if i < 4 else i}"
+            self.rvars.append(RVar(rname, lo, ext))
+
+    def __len__(self) -> int:
+        return len(self.rvars)
+
+    def __getitem__(self, i: int) -> RVar:
+        return self.rvars[i]
+
+    @property
+    def x(self) -> RVar:
+        return self.rvars[0]
+
+    @property
+    def y(self) -> RVar:
+        return self.rvars[1]
+
+    # 1-D RDoms behave like their single RVar
+    def _single(self) -> RVar:
+        if len(self.rvars) != 1:
+            raise TypeError(
+                "multi-dimensional RDom used as a variable; index it"
+            )
+        return self.rvars[0]
+
+    @property
+    def name(self) -> str:
+        return self._single().name
+
+    def to_expr(self) -> Expr:
+        return self._single().to_expr()
+
+    def __add__(self, other):
+        return self._single() + other
+
+    def __radd__(self, other):
+        return other + self._single().to_expr()
+
+    def __mul__(self, other):
+        return self._single() * other
+
+    def __rmul__(self, other):
+        return other * self._single().to_expr()
+
+    def __sub__(self, other):
+        return self._single() - other
+
+    def __mod__(self, other):
+        return self._single() % other
+
+    def __floordiv__(self, other):
+        return self._single() / other
+
+    def __truediv__(self, other):
+        return self._single() / other
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(
+            f"[{r.min_value},{r.min_value + r.extent})" for r in self.rvars
+        )
+        return f"RDom({ranges})"
+
+
+VarLike = Union[Var, RVar, RDom]
+
+
+def to_expr(value) -> Expr:
+    """Coerce DSL values (Var, RDom, FuncRef, numbers, Expr) to IR."""
+    from ..ir import builders
+
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (Var, RDom)):
+        return value.to_expr()
+    if hasattr(value, "to_expr"):
+        return value.to_expr()
+    if isinstance(value, (int, float, bool)):
+        return builders.wrap(value, Int(32))
+    raise TypeError(f"cannot convert {value!r} to an expression")

@@ -1,0 +1,45 @@
+"""HARDBOILED: the EqSat-based tensor instruction selector."""
+
+from . import intrinsics  # noqa: F401  (registers interpreter handlers)
+from .cost import hardboiled_cost_model
+from .encode import (
+    EncodeError,
+    Encoder,
+    contains_movement,
+    decode_expr,
+    decode_stmt,
+    encode_expr,
+    encode_stmt,
+    movement_wrapper,
+)
+from .rules_amx import amx_rules
+from .rules_axiomatic import axiomatic_rules
+from .rules_supporting import supporting_rules
+from .rules_wmma import wmma_rules
+from .tile_extractor import (
+    SelectionError,
+    SelectionReport,
+    StoreSelection,
+    TileExtractor,
+    fuse_gpu_lane_loops,
+    select_instructions,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]
+
+
+def compile_tensorized(output_func, iterations: int = 14, strict: bool = True):
+    """Lower a scheduled Func and run instruction selection.
+
+    Returns ``(CompiledPipeline, SelectionReport)``.  With ``strict`` a
+    store the schedule placed in accelerator memory that cannot be mapped
+    raises :class:`SelectionError` (selection is hit-or-miss, §III-D.3).
+    """
+    from ..lowering import lower
+    from ..runtime.executor import CompiledPipeline
+
+    lowered = lower(output_func)
+    tensorized, report = select_instructions(
+        lowered, iterations=iterations, strict=strict
+    )
+    return CompiledPipeline(tensorized), report

@@ -1,0 +1,36 @@
+"""The extraction cost model (paper §III-D.3).
+
+AST size, with two twists that implement "hit-or-miss" selection:
+
+* un-cancelled data movements *into* an accelerator (``Mem2AMX``,
+  ``Mem2WMMA``) are effectively infinite — if no lowering rule fired,
+  the original (marker-carrying) form is extracted and the caller
+  reports the store as unmapped;
+* ``ExprVar`` subtrees are materialized once outside the hot loop, so
+  their children contribute only epsilon.
+"""
+
+from __future__ import annotations
+
+from ..eqsat import CostModel
+
+#: runtime per-iteration upload into a tile register: to be avoided
+MOVEMENT_IN_COST = 1000.0
+#: an un-lowered AMX tile->memory movement is unrealizable without an
+#: explicit tile_store instruction, so it must lose to every alternative
+AMX_OUT_COST = 1000.0
+#: reading a WMMA fragment into registers is legal (fused post-ops do
+#: it), but a dedicated wmma.store is preferred when one applies
+WMMA_OUT_COST = 30.0
+
+
+def hardboiled_cost_model() -> CostModel:
+    return CostModel(
+        base_costs={
+            "Mem2AMX": MOVEMENT_IN_COST,
+            "Mem2WMMA": MOVEMENT_IN_COST,
+            "AMX2Mem": AMX_OUT_COST,
+            "WMMA2Mem": WMMA_OUT_COST,
+        },
+        hoisted_heads={"ExprVar": 1e-3},
+    )

@@ -1,0 +1,124 @@
+"""Application-specific and lowering rules for Intel AMX (paper Fig. 10a/b).
+
+The geometry is TDPBF16PS: C[16,16] f32 += A[16,32] bf16 . B[32,16] bf16
+(B consumed in the VNNI layout).  Application rules populate the
+``amx-A-tile``/``amx-B-tile`` relations with expressions that place each
+operand in a tile register (inserting a ``KWayInterleave`` swizzle via an
+``ExprVar`` when B is in the standard row-major layout); the lowering
+rule rewrites the matched MatMul into ``tile_matmul`` wrapped in
+``AMX2Mem``, letting the cancellation axiom erase the data movements the
+schedule already pays for.
+"""
+
+from __future__ import annotations
+
+from ..eqsat import parse_program
+
+M, N, K = 16, 16, 32
+C_LANES = M * N  # 256
+MUL_LANES = M * N * K  # 8192
+A_LANES = M * K  # 512
+B_LANES = K * N  # 512
+
+AMX_PROGRAM = f"""
+(relation amx-A-tile (Expr Expr))
+(relation amx-B-tile (Expr Expr))
+
+;; --- application-specific rules -------------------------------------
+
+;; A operand in the standard layout: A(r, x) loaded as x-major blocks of
+;; r-contiguous rows -> one tile_load
+(rule ((= lhs (Load (BFloat16 {MUL_LANES}) A-name
+          (Ramp (Broadcast (Ramp A-base 1 {K}) {N})
+                (Broadcast A-stride {A_LANES}) {M}))))
+      ((amx-A-tile lhs (Call (BFloat16 {A_LANES}) "tile_load"
+          (Args A-name A-base A-stride {M} {K})))))
+
+;; B operand in the standard (row-major) layout: HARDBOILED discovers the
+;; required swizzle and materializes the VNNI form via KWayInterleave
+(rule ((= rhs (Load (BFloat16 {MUL_LANES}) B-name
+          (Broadcast (Ramp (Ramp B-base B-stride {K})
+                           (Broadcast 1 {K}) {N}) {M}))))
+      ((let load-B (Load (BFloat16 {B_LANES}) B-name
+          (Ramp (Ramp B-base 1 {N}) (Broadcast B-stride {N}) {K})))
+       (let shuffled (ExprVar (Call (BFloat16 {B_LANES}) "KWayInterleave"
+          (Args 2 {K} {N} load-B))))
+       (amx-B-tile rhs (Call (BFloat16 {B_LANES}) "tile_load"
+          (Args shuffled 0 {K} {M} {K})))))
+
+;; B operand already in the VNNI layout: B_vnni(r%2, y, r/2) loads with a
+;; three-level nested ramp over (pair, row-pair, column) -> direct
+;; tile_load with the row-pair stride, no swizzle
+(rule ((= rhs (Load (BFloat16 {MUL_LANES}) B-name
+          (Broadcast (Ramp (Ramp (Ramp B-base 1 2)
+                                 (Broadcast B-s2 2) {K // 2})
+                           (Broadcast B-s1 {K}) {N}) {M}))))
+      ((amx-B-tile rhs (Call (BFloat16 {B_LANES}) "tile_load"
+          (Args B-name B-base B-s2 {M} {K})))))
+
+;; B operand preloaded into a tile register (Table I "preloading matrix
+;; B"): valid only when the *consuming* access pattern is VNNI — a tile
+;; already holds raw rows and no swizzle can be applied to it, so
+;; standard-layout consumption of a preloaded tile has no rule
+(rule ((= rhs (AMX2Mem (Load (BFloat16 {MUL_LANES}) B-name
+          (Broadcast (Ramp (Ramp (Ramp B-base 1 2)
+                                 (Broadcast B-s2 2) {K // 2})
+                           (Broadcast B-s1 {K}) {N}) {M})))))
+      ((amx-B-tile rhs (Load (BFloat16 {B_LANES}) B-name
+          (Ramp B-base 1 {B_LANES})))))
+
+;; preload itself: copying a (2, N, K/2)-shaped VNNI image into a tile
+;; register is one tile_load — the source's three-level access pattern
+;; proves the layout.  A row-major 2-D copy into a tile matches no rule:
+;; whether the preloaded data should be swizzled is ambiguous (Table I)
+(rule ((= s (Store buffer
+          (Mem2AMX (Load (BFloat16 {B_LANES}) B-name vnni-idx))
+          (Ramp 0 1 {B_LANES})))
+       (= vnni-idx (Ramp (Ramp (Ramp B-base 1 2)
+                               (Broadcast B-s1 2) {N})
+                         (Broadcast B-s2 {K}) {K // 2})))
+      ((union s (Store buffer (Call (BFloat16 {B_LANES}) "tile_load"
+          (Args B-name B-base B-s2 {K // 2} {K})) (Ramp 0 1 {B_LANES})))))
+
+;; broadcasts distribute over tile-to-memory reads
+(rewrite (Broadcast (AMX2Mem e) l) (AMX2Mem (Broadcast e l)))
+
+;; --- lowering rules ---------------------------------------------------
+
+;; MatMul: C + sum(A * B) -> tile_matmul (TDPBF16PS)
+(rule ((= e (Add (VectorReduceAdd {C_LANES}
+                   (Mul (Cast (Float32 {MUL_LANES}) lhs)
+                        (Cast (Float32 {MUL_LANES}) rhs)))
+                 C))
+       (amx-A-tile lhs amx-A)
+       (amx-B-tile rhs amx-B))
+      ((let new-e (Call (Float32 {C_LANES}) "tile_matmul"
+           (Args (Mem2AMX C) amx-A amx-B {M} {N} {K})))
+       (union e (AMX2Mem new-e))))
+
+;; tile initialization: storing broadcast zero into a tile register
+(rewrite (Mem2AMX (Broadcast 0.0 {C_LANES}))
+         (Call (Float32 {C_LANES}) "tile_zero" (Args {M} {N})))
+
+;; tile store, dense destination
+(rule ((= s (Store buffer (AMX2Mem tile) (Ramp base 1 {C_LANES}))))
+      ((union s (Evaluate (Call (Float32 1) "tile_store"
+          (Args buffer base {N} {M} {N} tile))))))
+
+;; tile store, strided (row-major into a larger matrix)
+(rule ((= s (Store buffer (AMX2Mem tile)
+          (Ramp (Ramp base 1 {N}) (Broadcast stride {N}) {M}))))
+      ((union s (Evaluate (Call (Float32 1) "tile_store"
+          (Args buffer base stride {M} {N} tile))))))
+"""
+
+_cache = None
+
+
+def amx_rules():
+    global _cache
+    if _cache is None:
+        _cache = parse_program(
+            AMX_PROGRAM, relations={"has-lanes"}
+        )
+    return _cache

@@ -1,0 +1,123 @@
+"""Axiomatic rules: vector-identity rewrites (paper Fig. 10c).
+
+These make pattern matching robust to the simplifier's obscuring
+rewrites: they push broadcasts back inside loads/casts, re-nest flat
+ramps into tile-shaped index vectors, fold broadcast-adds into ramp
+bases, and cancel adjacent data movements.  Inside EqSat their
+application order cannot cause a phase-ordering problem.
+"""
+
+from __future__ import annotations
+
+from ..eqsat import parse_program
+from .rules_supporting import SUPPORTING_PROGRAM
+
+AXIOMATIC_PROGRAM = """
+(relation has-lanes (Expr i64))
+
+;; commutativity (the paper implements commutativity but not
+;; associativity, which can blow up the e-graph)
+(rewrite (Add x y) (Add y x))
+(rewrite (Mul x y) (Mul y x))
+
+;; broadcast algebra
+(rewrite (Broadcast (Broadcast x l1) l2) (Broadcast x (* l1 l2)))
+(rewrite (Broadcast x 1) x)
+(rewrite (Ramp x s 1) x)
+
+;; push broadcast inside load (undoes the simplifier's
+;; broadcast-of-load preference)
+(rewrite (Broadcast (Load type name index) lanes)
+         (Load (MultiplyLanes type lanes) name (Broadcast index lanes)))
+
+;; push broadcast inside cast
+(rewrite (Broadcast (Cast type expr) lanes)
+         (Cast (MultiplyLanes type lanes) (Broadcast expr lanes)))
+
+;; fold a broadcast-add into a ramp base: the blocks of the ramp each
+;; absorb whole copies of the broadcast payload
+(rule ((= e (Add (Ramp base stride count) (Broadcast x bl)))
+       (has-lanes base lb)
+       (has-lanes x lx)
+       (= 0 (% lb lx))
+       (= bl (* count (/ lb lx))))
+      ((union e (Ramp (Add base (Broadcast x (/ lb lx))) stride count))))
+
+;; additive identities
+(rewrite (Add x (Broadcast 0 l)) x)
+(rewrite (Add x 0) x)
+
+;; restricted associativity: float a broadcast term outward so sibling
+;; broadcasts can meet (full associativity would blow up the e-graph,
+;; paper SS A-3; this exchange form is bounded by the add-chain length)
+(rewrite (Add (Add a (Broadcast x l)) b)
+         (Add (Add a b) (Broadcast x l)))
+
+;; merge sibling broadcasts of equal payload width
+(rule ((= e (Add (Broadcast a l) (Broadcast b l)))
+       (has-lanes a la)
+       (has-lanes b lb)
+       (= la lb))
+      ((union e (Broadcast (Add a b) l))))
+
+;; sibling hint (paper SS A-3): the inverse of broadcast flattening is
+;; not directly applicable (l1*l2 cannot be guessed), but a sibling term
+;; with a different count tells us how to nest
+(rule ((= e (Add (Broadcast a bla) (Broadcast b blb)))
+       (> bla blb)
+       (= 0 (% bla blb)))
+      ((union e (Add (Broadcast (Broadcast a (/ bla blb)) blb)
+                     (Broadcast b blb)))))
+
+;; adjacent data movements cancel
+(rewrite (Mem2AMX (AMX2Mem e)) e)
+(rewrite (Mem2WMMA (WMMA2Mem e)) e)
+
+;; degenerate-pattern recovery (paper SS A-3): the VNNI layout's 2-wide
+;; pair dimension appears as %2 and /2 over a flat lane ramp
+(rewrite (Mod (Ramp 0 1 l) (Broadcast 2 l))
+         (Broadcast (Ramp 0 1 2) (/ l 2))
+         :when ((= 0 (% l 2))))
+(rewrite (Div (Ramp 0 1 l) (Broadcast 2 l))
+         (Ramp (Broadcast 0 2) (Broadcast 1 2) (/ l 2))
+         :when ((= 0 (% l 2))))
+
+;; scale a ramp by a uniform broadcast
+(rule ((= e (Mul (Ramp b s c) (Broadcast k bl)))
+       (has-lanes b lb)
+       (has-lanes k 1)
+       (= bl (* c lb)))
+      ((union e (Ramp (Mul b (Broadcast k lb))
+                      (Mul s (Broadcast k lb)) c))))
+
+;; merge sibling broadcasts under multiplication
+(rule ((= e (Mul (Broadcast a l) (Broadcast b l)))
+       (has-lanes a la)
+       (has-lanes b lb)
+       (= la lb))
+      ((union e (Broadcast (Mul a b) l))))
+
+;; multiplicative zero
+(rewrite (Mul x 0) 0)
+(rewrite (Mul x (Broadcast 0 l)) (Broadcast 0 l))
+
+;; re-nest flat dense ramps into 2-D tile index patterns (inverse of
+;; the simplifier's dense-ramp flattening); row widths 8 and 16 cover
+;; the WMMA and AMX tile geometries
+(rewrite (Ramp e 1 l)
+         (Ramp (Ramp e 1 16) (Broadcast 16 16) (/ l 16))
+         :when ((= 0 (% l 16)) (> l 16)))
+(rewrite (Ramp e 1 l)
+         (Ramp (Ramp e 1 8) (Broadcast 8 8) (/ l 8))
+         :when ((= 0 (% l 8)) (> l 8)))
+"""
+
+_cache = None
+
+
+def axiomatic_rules():
+    global _cache
+    if _cache is None:
+        rules, relations = parse_program(AXIOMATIC_PROGRAM)
+        _cache = (rules, relations)
+    return _cache

@@ -1,0 +1,61 @@
+"""Supporting rules: lane/type analysis (paper §A-4).
+
+These are Datalog-style deductive rules that always saturate: they
+propagate ``has-lanes`` facts to terms created by other rules and
+evaluate ``MultiplyLanes`` on type terms.  The encoder seeds
+``has-lanes`` for every subexpression of the input program.
+"""
+
+from __future__ import annotations
+
+from ..eqsat import parse_program
+
+SUPPORTING_PROGRAM = """
+(relation has-lanes (Expr i64))
+
+;; vector constructors
+(rule ((= e (Ramp b s c)) (has-lanes b lb))
+      ((has-lanes e (* lb c))))
+(rule ((= e (Broadcast x c)) (has-lanes x lx))
+      ((has-lanes e (* lx c))))
+(rule ((= e (VectorReduceAdd l v)))
+      ((has-lanes e l)))
+
+;; lanes pass through pointwise operations
+(rule ((= e (Add a b)) (has-lanes a l)) ((has-lanes e l)))
+(rule ((= e (Add a b)) (has-lanes b l)) ((has-lanes e l)))
+(rule ((= e (Sub a b)) (has-lanes a l)) ((has-lanes e l)))
+(rule ((= e (Mul a b)) (has-lanes a l)) ((has-lanes e l)))
+(rule ((= e (Mul a b)) (has-lanes b l)) ((has-lanes e l)))
+(rule ((= e (Div a b)) (has-lanes a l)) ((has-lanes e l)))
+(rule ((= e (Mod a b)) (has-lanes a l)) ((has-lanes e l)))
+(rule ((= e (Min a b)) (has-lanes a l)) ((has-lanes e l)))
+(rule ((= e (Max a b)) (has-lanes a l)) ((has-lanes e l)))
+(rule ((= e (Cast t x)) (has-lanes x l)) ((has-lanes e l)))
+(rule ((= e (Var n))) ((has-lanes e 1)))
+
+;; loads/movement markers have the lanes of their index/payload
+(rule ((= e (Load t n i)) (has-lanes i l)) ((has-lanes e l)))
+(rule ((= e (Mem2AMX x)) (has-lanes x l)) ((has-lanes e l)))
+(rule ((= e (AMX2Mem x)) (has-lanes x l)) ((has-lanes e l)))
+(rule ((= e (Mem2WMMA x)) (has-lanes x l)) ((has-lanes e l)))
+(rule ((= e (WMMA2Mem x)) (has-lanes x l)) ((has-lanes e l)))
+
+;; MultiplyLanes computes result types for widened loads/casts
+(rewrite (MultiplyLanes (Float64 l) x) (Float64 (* l x)))
+(rewrite (MultiplyLanes (Float32 l) x) (Float32 (* l x)))
+(rewrite (MultiplyLanes (Float16 l) x) (Float16 (* l x)))
+(rewrite (MultiplyLanes (BFloat16 l) x) (BFloat16 (* l x)))
+(rewrite (MultiplyLanes (Int32 l) x) (Int32 (* l x)))
+(rewrite (MultiplyLanes (Int64 l) x) (Int64 (* l x)))
+"""
+
+_cache = None
+
+
+def supporting_rules():
+    """The supporting rule set and its relation names."""
+    global _cache
+    if _cache is None:
+        _cache = parse_program(SUPPORTING_PROGRAM)
+    return _cache

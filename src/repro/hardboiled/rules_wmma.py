@@ -1,0 +1,162 @@
+"""Application-specific and lowering rules for Nvidia Tensor Cores (WMMA).
+
+Three pattern families are lowered (paper §III-D.4):
+
+* **MatMul-like** — the m16n16k16 fp16 GEMM tile.
+* **Convolution-like** — 1-D convolution segments become m32n8k16 MMAs
+  against a Toeplitz matrix built from the kernel by
+  ``ConvolutionShuffle`` (paper §V-A, App. B): 256 outputs x 8 taps per
+  MMA, the input loaded as 32 overlapping 16-wide rows.
+* **Strided (downsampling) convolution** — the stride-2 Toeplitz
+  ``A_down`` (§V-B); only 4 of the 8 tile columns hold valid outputs, so
+  the accumulator is expanded/compacted around the MMA.  The wasted
+  columns are the "redundant computation introduced by Toeplitz
+  transformations" the paper's roofline discussion mentions.
+"""
+
+from __future__ import annotations
+
+from ..eqsat import parse_program
+
+# GEMM tile
+GM, GN, GK = 16, 16, 16
+G_C = GM * GN  # 256
+G_MUL = GM * GN * GK  # 4096
+
+# convolution tile: 256-output segments, 8-tap blocks -> m32n8k16
+SEG = 256
+TAPS = 8
+C_MUL = SEG * TAPS  # 2048
+
+# downsampling tile: 128-output segments (4 valid columns of 8)
+DSEG = 128
+D_MUL = DSEG * TAPS  # 1024
+
+WMMA_PROGRAM = f"""
+(relation wmma-A-tile (Expr Expr))
+(relation wmma-B-tile (Expr Expr))
+
+;; --- MatMul-like (m{GM}n{GN}k{GK}) ------------------------------------
+
+(rule ((= lhs (Load (Float16 {G_MUL}) A-name
+          (Ramp (Broadcast (Ramp A-base 1 {GK}) {GN})
+                (Broadcast A-stride {GM * GK}) {GM}))))
+      ((wmma-A-tile lhs (Call (Float16 {GM * GK}) "wmma.load.a.sync"
+          (Args A-name A-base A-stride {GM} {GK})))))
+
+(rule ((= rhs (Load (Float16 {G_MUL}) B-name
+          (Broadcast (Ramp (Ramp B-base B-stride {GK})
+                           (Broadcast 1 {GK}) {GN}) {GM}))))
+      ((wmma-B-tile rhs (Call (Float16 {GK * GN}) "wmma.load.b.sync"
+          (Args B-name B-base B-stride {GK} {GN})))))
+
+(rule ((= e (Add (VectorReduceAdd {G_C}
+                   (Mul (Cast (Float32 {G_MUL}) lhs)
+                        (Cast (Float32 {G_MUL}) rhs)))
+                 C))
+       (wmma-A-tile lhs frag-A)
+       (wmma-B-tile rhs frag-B))
+      ((let new-e (Call (Float32 {G_C}) "wmma.mma.sync"
+           (Args (Mem2WMMA C) frag-A frag-B {GM} {GN} {GK})))
+       (union e (WMMA2Mem new-e))))
+
+;; --- convolution-like (m32n8k16 against a Toeplitz matrix) ------------
+
+(rule ((= e (Add (VectorReduceAdd {SEG}
+                   (Mul (Cast (Float32 {C_MUL}) lhs)
+                        (Cast (Float32 {C_MUL}) rhs)))
+                 C))
+       (= lhs (Load (Float16 {C_MUL}) I-name
+          (Ramp (Ramp I-base 1 {TAPS}) (Broadcast 1 {TAPS}) {SEG})))
+       (= rhs (Load (Float16 {C_MUL}) K-name
+          (Broadcast (Ramp K-base 1 {TAPS}) {SEG}))))
+      ((let toep (ExprVar (Call (Float16 128) "ConvolutionShuffle"
+           (Args K-name K-base 16 8 {TAPS} 1))))
+       (let frag-I (Call (Float16 512) "wmma.load.a.sync"
+           (Args I-name I-base 8 32 16)))
+       (let frag-K (Call (Float16 128) "wmma.load.b.sync"
+           (Args toep 0 8 16 8)))
+       (let new-e (Call (Float32 {SEG}) "wmma.mma.sync"
+           (Args (Mem2WMMA C) frag-I frag-K 32 8 16)))
+       (union e (WMMA2Mem new-e))))
+
+;; --- strided convolution / downsample by 2 (A_down Toeplitz) ----------
+
+(rule ((= e (Add (VectorReduceAdd {DSEG}
+                   (Mul (Cast (Float32 {D_MUL}) lhs)
+                        (Cast (Float32 {D_MUL}) rhs)))
+                 C))
+       (= lhs (Load (Float16 {D_MUL}) I-name
+          (Ramp (Ramp I-base 1 {TAPS}) (Broadcast 2 {TAPS}) {DSEG})))
+       (= rhs (Load (Float16 {D_MUL}) K-name
+          (Broadcast (Ramp K-base 1 {TAPS}) {DSEG}))))
+      ((let toep (ExprVar (Call (Float16 128) "ConvolutionShuffle"
+           (Args K-name K-base 16 8 {TAPS} 2))))
+       (let frag-I (Call (Float16 512) "wmma.load.a.sync"
+           (Args I-name I-base 8 32 16)))
+       (let frag-K (Call (Float16 128) "wmma.load.b.sync"
+           (Args toep 0 8 16 8)))
+       (let expanded (Call (Float32 256) "TileExpand"
+           (Args (Mem2WMMA C) 4 8)))
+       (let new-e (Call (Float32 256) "wmma.mma.sync"
+           (Args expanded frag-I frag-K 32 8 16)))
+       (let compacted (Call (Float32 {DSEG}) "TileCompact"
+           (Args new-e 8 4)))
+       (union e (WMMA2Mem compacted))))
+
+;; --- multiphase (upsample-by-2) convolution ---------------------------
+;;
+;; The phase-decomposed form O_phase(dx, x) += K[2*rx + dx] * I[x + rx]
+;; with phase innermost in storage (SS V-B).  128 input positions x 2
+;; phases = 256 outputs per m32n8k16 MMA against the A_up matrix built
+;; by MultiphaseShuffle; rows advance the input by 4.
+
+(rule ((= e (Add (VectorReduceAdd 256
+                   (Mul (Cast (Float32 2048) lhs)
+                        (Cast (Float32 2048) rhs)))
+                 C))
+       (= lhs (Load (Float16 2048) I-name
+          (Ramp (Add (Broadcast I-base 16)
+                     (Broadcast (Ramp 0 1 8) 2))
+                (Broadcast 1 16) 128)))
+       (= rhs (Load (Float16 2048) K-name
+          (Broadcast (Ramp (Ramp K-base 2 8) (Broadcast 1 8) 2) 128))))
+      ((let toep (ExprVar (Call (Float16 128) "MultiphaseShuffle"
+           (Args K-name K-base 16 8 16 2))))
+       (let frag-I (Call (Float16 512) "wmma.load.a.sync"
+           (Args I-name I-base 4 32 16)))
+       (let frag-K (Call (Float16 128) "wmma.load.b.sync"
+           (Args toep 0 8 16 8)))
+       (let new-e (Call (Float32 256) "wmma.mma.sync"
+           (Args (Mem2WMMA C) frag-I frag-K 32 8 16)))
+       (union e (WMMA2Mem new-e))))
+
+;; --- accumulator initialization ----------------------------------------
+
+(rewrite (Mem2WMMA (Broadcast 0.0 {G_C}))
+         (Call (Float32 {G_C}) "wmma.fill.sync" (Args {GM} {GN} 0.0)))
+(rewrite (Mem2WMMA (Broadcast 0.0 {DSEG}))
+         (Call (Float32 {DSEG}) "wmma.fill.sync" (Args 16 8 0.0)))
+
+;; --- accumulator stores ---------------------------------------------------
+
+(rule ((= s (Store buffer (WMMA2Mem tile) (Ramp base 1 {G_C}))))
+      ((union s (Evaluate (Call (Float32 1) "wmma.store.d.sync"
+          (Args buffer base {GN} {GM} {GN} tile))))))
+(rule ((= s (Store buffer (WMMA2Mem tile) (Ramp base 1 {DSEG}))))
+      ((union s (Evaluate (Call (Float32 1) "wmma.store.d.sync"
+          (Args buffer base 8 16 8 tile))))))
+(rule ((= s (Store buffer (WMMA2Mem tile)
+          (Ramp (Ramp base 1 {GN}) (Broadcast stride {GN}) {GM}))))
+      ((union s (Evaluate (Call (Float32 1) "wmma.store.d.sync"
+          (Args buffer base stride {GM} {GN} tile))))))
+"""
+
+_cache = None
+
+
+def wmma_rules():
+    global _cache
+    if _cache is None:
+        _cache = parse_program(WMMA_PROGRAM, relations={"has-lanes"})
+    return _cache

@@ -1,0 +1,414 @@
+"""The tile extractor: HARDBOILED's compiler pass (paper §III).
+
+For every store statement that touches an accelerator-resident buffer it:
+
+1. injects data-movement markers (loads from accelerator buffers are
+   wrapped in ``AMX2Mem``/``WMMA2Mem``; values stored to accelerator
+   buffers in ``Mem2AMX``/``Mem2WMMA``);
+2. encodes the statement into an e-graph and runs the phased rule
+   schedule (supporting rules to fixpoint between iterations of the
+   axiomatic + application-specific + lowering rules);
+3. extracts the cheapest equivalent statement under the AST-size cost
+   model and decodes it back to IR;
+4. post-processes: ``ExprVar`` temporaries become hoisted allocations
+   initialized by their shuffle expression, WMMA statements are wrapped
+   in warp-level ``gpu_lane`` loops, and adjacent warp loops are fused
+   (the ``FuseGPUThreadLoops`` step of §III-D.1).
+
+A store scheduled into accelerator memory that no rule can map is
+reported as unmapped — selection is hit-or-miss by design, because the
+schedule has already pinned where the computation must run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..eqsat import EGraph, extract_best, run_phased
+from ..ir import (
+    Allocate,
+    Block,
+    Call,
+    Evaluate,
+    Expr,
+    For,
+    ForKind,
+    IntImm,
+    Load,
+    MemoryType,
+    Ramp,
+    Stmt,
+    Store,
+    StringImm,
+    free_variables,
+)
+from ..ir.visitor import IRMutator, IRVisitor
+from ..lowering.pipeline import Lowered
+from ..targets.wmma import WARP_SIZE
+from .cost import hardboiled_cost_model
+from .encode import Encoder, contains_movement, decode_stmt, movement_wrapper
+from .rules_amx import amx_rules
+from .rules_axiomatic import axiomatic_rules
+from .rules_supporting import supporting_rules
+from .rules_wmma import wmma_rules
+
+_KIND_BY_MEMORY = {
+    MemoryType.AMX_TILE: "amx",
+    MemoryType.WMMA_ACCUMULATOR: "wmma",
+}
+_WRAP_IN = {"amx": "Mem2AMX", "wmma": "Mem2WMMA"}
+_WRAP_OUT = {"amx": "AMX2Mem", "wmma": "WMMA2Mem"}
+
+
+@dataclass
+class StoreSelection:
+    """Outcome of instruction selection for one store statement."""
+
+    original: Store
+    kind: str
+    mapped: bool
+    stmt: Stmt
+    eqsat_seconds: float = 0.0
+    egraph_classes: int = 0
+    egraph_nodes: int = 0
+    matches: int = 0
+
+
+@dataclass
+class SelectionReport:
+    selections: List[StoreSelection] = field(default_factory=list)
+    eqsat_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def num_mapped(self) -> int:
+        return sum(1 for s in self.selections if s.mapped)
+
+    @property
+    def all_mapped(self) -> bool:
+        return all(s.mapped for s in self.selections)
+
+    @property
+    def any_mapped(self) -> bool:
+        return any(s.mapped for s in self.selections)
+
+    def summary(self) -> str:
+        lines = []
+        for s in self.selections:
+            status = "mapped" if s.mapped else "NOT MAPPED"
+            lines.append(
+                f"store to {s.original.name!r} [{s.kind}]: {status}"
+                f" ({s.eqsat_seconds * 1e3:.1f} ms,"
+                f" {s.egraph_nodes} e-nodes)"
+            )
+        return "\n".join(lines)
+
+
+class SelectionError(RuntimeError):
+    pass
+
+
+class _AccelLoadWrapper(IRMutator):
+    """Wraps loads from accelerator buffers in outbound movement markers."""
+
+    def __init__(self, memory_of: Dict[str, MemoryType]):
+        self.memory_of = memory_of
+
+    def mutate_Load(self, node: Load):
+        index = self.mutate(node.index)
+        if index is not node.index:
+            node = Load(node.dtype, node.name, index)
+        kind = _KIND_BY_MEMORY.get(
+            self.memory_of.get(node.name, MemoryType.HEAP)
+        )
+        if kind is not None:
+            return movement_wrapper(_WRAP_OUT[kind], node)
+        return node
+
+
+def _rules_for(kind: str):
+    ax_rules, _ = axiomatic_rules()
+    sup_rules, _ = supporting_rules()
+    app_rules, _ = amx_rules() if kind == "amx" else wmma_rules()
+    return list(ax_rules) + list(app_rules), list(sup_rules)
+
+
+class TileExtractor:
+    """Runs instruction selection over a lowered pipeline."""
+
+    def __init__(
+        self,
+        lowered: Lowered,
+        iterations: int = 14,
+        strict: bool = False,
+    ) -> None:
+        self.lowered = lowered
+        self.iterations = iterations
+        self.strict = strict
+        self.memory_of: Dict[str, MemoryType] = {
+            name: info.memory_type
+            for name, info in lowered.realizations.items()
+        }
+        self.report = SelectionReport()
+        self._tmp_counter = 0
+        self._pending_exprvars: Dict[Expr, str] = {}
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> Tuple[Stmt, SelectionReport]:
+        start = time.perf_counter()
+        stmt = _StoreRewriter(self).mutate(self.lowered.stmt)
+        stmt = _materialize_exprvars(stmt, self._pending_exprvars)
+        stmt = fuse_gpu_lane_loops(stmt)
+        self.report.total_seconds = time.perf_counter() - start
+        if self.strict and not self.report.all_mapped:
+            failed = [
+                s.original.name
+                for s in self.report.selections
+                if not s.mapped
+            ]
+            raise SelectionError(
+                "instruction selection failed for accelerator-scheduled"
+                f" stores into {failed} — no lowering rule matched"
+            )
+        return stmt, self.report
+
+    # -- per-store selection ---------------------------------------------------
+
+    def store_kind(self, store: Store) -> Optional[str]:
+        kind = _KIND_BY_MEMORY.get(
+            self.memory_of.get(store.name, MemoryType.HEAP)
+        )
+        if kind is not None:
+            return kind
+        kinds = set()
+
+        class V(IRVisitor):
+            memory_of = self.memory_of
+
+            def visit_Load(v_self, node: Load):
+                k = _KIND_BY_MEMORY.get(
+                    self.memory_of.get(node.name, MemoryType.HEAP)
+                )
+                if k is not None:
+                    kinds.add(k)
+                v_self.visit(node.index)
+
+        V().visit(store.value)
+        if len(kinds) > 1:
+            raise SelectionError(
+                f"store into {store.name!r} mixes AMX and WMMA operands"
+            )
+        return kinds.pop() if kinds else None
+
+    def select_store(self, store: Store) -> Tuple[Stmt, StoreSelection]:
+        kind = self.store_kind(store)
+        if kind is None:
+            return store, None
+        # 1. inject data movement markers
+        value = _AccelLoadWrapper(self.memory_of).mutate(store.value)
+        if (
+            self.memory_of.get(store.name, MemoryType.HEAP)
+            in _KIND_BY_MEMORY
+        ):
+            value = movement_wrapper(_WRAP_IN[kind], value)
+        wrapped = Store(store.name, store.index, value)
+
+        # 2. equality saturation
+        start = time.perf_counter()
+        egraph = EGraph()
+        root = Encoder(egraph).stmt(wrapped)
+        main_rules, sup_rules = _rules_for(kind)
+        stats = run_phased(
+            egraph, main_rules, sup_rules, iterations=self.iterations
+        )
+        # 3. extraction
+        best = extract_best(egraph, root, hardboiled_cost_model())
+        seconds = time.perf_counter() - start
+        self.report.eqsat_seconds += seconds
+
+        mapped = not contains_movement(best, kind)
+        if mapped:
+            stmt: Stmt = decode_stmt(best)
+            stmt = self._collect_exprvars(stmt)
+            if kind == "wmma":
+                stmt = For(
+                    "thread_id_x",
+                    IntImm(0),
+                    IntImm(WARP_SIZE),
+                    ForKind.GPU_LANE,
+                    stmt,
+                )
+        else:
+            stmt = store  # keep the original, marker-free form
+        selection = StoreSelection(
+            original=store,
+            kind=kind,
+            mapped=mapped,
+            stmt=stmt,
+            eqsat_seconds=seconds,
+            egraph_classes=egraph.num_classes(),
+            egraph_nodes=egraph.num_nodes(),
+            matches=stats.total_matches,
+        )
+        return stmt, selection
+
+    def _collect_exprvars(self, stmt: Stmt) -> Stmt:
+        extractor = self
+
+        class Collector(IRMutator):
+            def mutate_Call(self, node: Call):
+                args = tuple(self.mutate(a) for a in node.args)
+                new_args = []
+                for a in args:
+                    if isinstance(a, Call) and a.name == "$ExprVar":
+                        inner = a.args[0]
+                        name = extractor._pending_exprvars.get(inner)
+                        if name is None:
+                            name = f"hb_tmp{extractor._tmp_counter}"
+                            extractor._tmp_counter += 1
+                            extractor._pending_exprvars[inner] = name
+                        new_args.append(StringImm(name))
+                    else:
+                        new_args.append(a)
+                import dataclasses
+
+                if tuple(new_args) != node.args:
+                    return dataclasses.replace(node, args=tuple(new_args))
+                return node
+
+        return Collector().mutate(stmt)
+
+
+class _StoreRewriter(IRMutator):
+    def __init__(self, extractor: TileExtractor):
+        self.extractor = extractor
+
+    def mutate_Store(self, node: Store):
+        stmt, selection = self.extractor.select_store(node)
+        if selection is not None:
+            self.extractor.report.selections.append(selection)
+        return stmt
+
+
+def _materialize_exprvars(
+    stmt: Stmt, pending: Dict[Expr, str]
+) -> Stmt:
+    """Allocate + initialize each ExprVar, hoisted as far out as possible."""
+    if not pending:
+        return stmt
+    # only loop variables constrain placement; symbols like image strides
+    # are bound in the top-level environment
+    loop_vars: Set[str] = set()
+
+    class LoopCollector(IRVisitor):
+        def visit_For(self, node: For):
+            loop_vars.add(node.name)
+            self.visit(node.body)
+
+    LoopCollector().visit(stmt)
+    remaining = {
+        name: (expr, free_variables(expr) & loop_vars)
+        for expr, name in pending.items()
+    }
+
+    def wrap(body: Stmt, names: List[str]) -> Stmt:
+        for name in names:
+            expr, _ = remaining[name]
+            lanes = expr.type.lanes
+            init = Store(name, Ramp(IntImm(0), IntImm(1), lanes), expr)
+            body = Allocate(
+                name,
+                expr.type.element_of(),
+                (IntImm(lanes),),
+                MemoryType.STACK,
+                Block.make([init, body]),
+            )
+        return body
+
+    class Inserter(IRMutator):
+        def __init__(self):
+            self.bound: Set[str] = set()
+            self.placed: Set[str] = set()
+
+        def mutate_For(self, node: For):
+            self.bound.add(node.name)
+            body = self.mutate(node.body)
+            ready = [
+                name
+                for name, (expr, needed) in remaining.items()
+                if name not in self.placed
+                and node.name in needed
+                and needed <= self.bound
+            ]
+            self.placed.update(ready)
+            body = wrap(body, ready)
+            self.bound.discard(node.name)
+            if body is node.body:
+                return node
+            return For(node.name, node.min_expr, node.extent, node.kind, body)
+
+    inserter = Inserter()
+    stmt = inserter.mutate(stmt)
+    top_level = [
+        name
+        for name, (expr, needed) in remaining.items()
+        if name not in inserter.placed
+    ]
+    return wrap(stmt, top_level)
+
+
+def fuse_gpu_lane_loops(stmt: Stmt) -> Stmt:
+    """Merge adjacent warp-level lane loops (FuseGPUThreadLoops)."""
+
+    class Fuser(IRMutator):
+        def mutate_Block(self, node: Block):
+            parts = [self.mutate(p) for p in node.stmts]
+            fused: List[Stmt] = []
+            for part in parts:
+                if (
+                    fused
+                    and isinstance(part, For)
+                    and part.kind is ForKind.GPU_LANE
+                    and isinstance(fused[-1], For)
+                    and fused[-1].kind is ForKind.GPU_LANE
+                    and fused[-1].name == part.name
+                    and fused[-1].extent == part.extent
+                ):
+                    prev = fused.pop()
+                    fused.append(
+                        For(
+                            prev.name,
+                            prev.min_expr,
+                            prev.extent,
+                            prev.kind,
+                            Block.make([prev.body, part.body]),
+                        )
+                    )
+                else:
+                    fused.append(part)
+            return Block.make(fused)
+
+    return Fuser().mutate(stmt)
+
+
+def select_instructions(
+    lowered: Lowered, iterations: int = 14, strict: bool = False
+) -> Tuple[Lowered, SelectionReport]:
+    """Run HARDBOILED over a lowered pipeline.
+
+    Returns a new :class:`Lowered` whose statement uses tensor intrinsics
+    wherever the schedule requested accelerator storage, plus a report of
+    which stores mapped (and how long EqSat took).
+    """
+    extractor = TileExtractor(lowered, iterations=iterations, strict=strict)
+    stmt, report = extractor.run()
+    import dataclasses
+
+    new_lowered = dataclasses.replace(lowered, stmt=stmt)
+    new_lowered.pass_seconds = dict(lowered.pass_seconds)
+    new_lowered.pass_seconds["hardboiled_eqsat"] = report.eqsat_seconds
+    new_lowered.pass_seconds["hardboiled_total"] = report.total_seconds
+    return new_lowered, report

@@ -1,0 +1,429 @@
+"""Expression nodes of the Halide-like IR.
+
+The vector trio that HARDBOILED builds on lives here:
+
+* :class:`Ramp` — ``ramp(base, stride, n)`` concatenates the vectors
+  ``base, base + stride, ..., base + (n-1)*stride``.  When ``base`` and
+  ``stride`` are themselves vectors this encodes a *nested* (2-D) pattern.
+* :class:`Broadcast` — ``xN(v)`` concatenates N copies of ``v`` (a ramp
+  with stride zero).
+* :class:`VectorReduce` — sums fixed-size groups of adjacent lanes,
+  producing a smaller vector; appears when a reduction dimension is
+  vectorized under ``atomic()``.
+
+All nodes are immutable; structural equality and hashing come from the
+dataclass machinery so expressions can be used as dict keys (the e-graph
+hashconses separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from .types import BOOL, DataType, Float, Int, TypeCode, promote
+
+ScalarValue = Union[int, float, bool]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for all IR expressions."""
+
+    @property
+    def type(self) -> DataType:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def lanes(self) -> int:
+        return self.type.lanes
+
+    # -- operator sugar (delegates to builders for folding/promotion) ------
+
+    def _bin(self, op: str, other: object, reverse: bool = False):
+        from . import builders
+
+        other_expr = builders.wrap(other, self.type.element_of())
+        a, b = (other_expr, self) if reverse else (self, other_expr)
+        return builders.BINARY_BUILDERS[op](a, b)
+
+    def __add__(self, other):
+        return self._bin("add", other)
+
+    def __radd__(self, other):
+        return self._bin("add", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._bin("sub", other)
+
+    def __rsub__(self, other):
+        return self._bin("sub", other, reverse=True)
+
+    def __mul__(self, other):
+        return self._bin("mul", other)
+
+    def __rmul__(self, other):
+        return self._bin("mul", other, reverse=True)
+
+    def __truediv__(self, other):
+        return self._bin("div", other)
+
+    def __rtruediv__(self, other):
+        return self._bin("div", other, reverse=True)
+
+    def __floordiv__(self, other):
+        return self._bin("div", other)
+
+    def __rfloordiv__(self, other):
+        return self._bin("div", other, reverse=True)
+
+    def __mod__(self, other):
+        return self._bin("mod", other)
+
+    def __rmod__(self, other):
+        return self._bin("mod", other, reverse=True)
+
+    def __neg__(self):
+        from . import builders
+
+        return builders.make_sub(builders.const(0, self.type), self)
+
+    def __lt__(self, other):
+        return self._bin("lt", other)
+
+    def __le__(self, other):
+        return self._bin("le", other)
+
+    def __gt__(self, other):
+        return self._bin("gt", other)
+
+    def __ge__(self, other):
+        return self._bin("ge", other)
+
+    def eq(self, other):
+        """Pointwise equality (``==`` is reserved for structural equality)."""
+        return self._bin("eq", other)
+
+    def ne(self, other):
+        return self._bin("ne", other)
+
+
+@dataclass(frozen=True)
+class IntImm(Expr):
+    """An integer immediate of a given (possibly unsigned) type."""
+
+    value: int
+    dtype: DataType = field(default=Int(32))
+
+    @property
+    def type(self) -> DataType:
+        return self.dtype
+
+
+@dataclass(frozen=True)
+class FloatImm(Expr):
+    """A floating-point immediate (covers float16/32/64 and bfloat16)."""
+
+    value: float
+    dtype: DataType = field(default=Float(32))
+
+    @property
+    def type(self) -> DataType:
+        return self.dtype
+
+
+@dataclass(frozen=True)
+class StringImm(Expr):
+    """A string immediate (used for intrinsic name arguments)."""
+
+    value: str
+
+    @property
+    def type(self) -> DataType:
+        from .types import Handle
+
+        return Handle()
+
+
+@dataclass(frozen=True)
+class Variable(Expr):
+    """A scalar (or vector) variable reference by name."""
+
+    name: str
+    dtype: DataType = field(default=Int(32))
+
+    @property
+    def type(self) -> DataType:
+        return self.dtype
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """Value conversion to a target type (lane count must match)."""
+
+    dtype: DataType
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if self.dtype.lanes != self.value.type.lanes:
+            raise ValueError(
+                f"cast lane mismatch: {self.dtype} vs {self.value.type}"
+            )
+
+    @property
+    def type(self) -> DataType:
+        return self.dtype
+
+
+class _Binary(Expr):
+    """Shared shape for binary arithmetic nodes."""
+
+    a: Expr
+    b: Expr
+
+    @property
+    def type(self) -> DataType:
+        return promote(self.a.type, self.b.type)
+
+
+def _binary_node(name: str):
+    cls = dataclass(frozen=True)(
+        type(name, (_Binary,), {"__annotations__": {"a": Expr, "b": Expr}})
+    )
+    return cls
+
+
+Add = _binary_node("Add")
+Sub = _binary_node("Sub")
+Mul = _binary_node("Mul")
+Div = _binary_node("Div")
+Mod = _binary_node("Mod")
+Min = _binary_node("Min")
+Max = _binary_node("Max")
+
+
+class _Compare(Expr):
+    a: Expr
+    b: Expr
+
+    @property
+    def type(self) -> DataType:
+        return BOOL.with_lanes(promote(self.a.type, self.b.type).lanes)
+
+
+def _compare_node(name: str):
+    cls = dataclass(frozen=True)(
+        type(name, (_Compare,), {"__annotations__": {"a": Expr, "b": Expr}})
+    )
+    return cls
+
+
+EQ = _compare_node("EQ")
+NE = _compare_node("NE")
+LT = _compare_node("LT")
+LE = _compare_node("LE")
+GT = _compare_node("GT")
+GE = _compare_node("GE")
+And = _compare_node("And")
+Or = _compare_node("Or")
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    value: Expr
+
+    @property
+    def type(self) -> DataType:
+        return BOOL.with_lanes(self.value.type.lanes)
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Pointwise ternary: ``condition ? true_value : false_value``."""
+
+    condition: Expr
+    true_value: Expr
+    false_value: Expr
+
+    @property
+    def type(self) -> DataType:
+        return promote(self.true_value.type, self.false_value.type)
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """A (vector) load: ``name[index]`` with ``index.lanes`` result lanes."""
+
+    dtype: DataType
+    name: str
+    index: Expr
+
+    def __post_init__(self) -> None:
+        if self.dtype.lanes != self.index.type.lanes:
+            raise ValueError(
+                f"load lane mismatch: type {self.dtype} vs index "
+                f"{self.index.type}"
+            )
+
+    @property
+    def type(self) -> DataType:
+        return self.dtype
+
+
+@dataclass(frozen=True)
+class Ramp(Expr):
+    """``ramp(base, stride, count)``: concat of base + i*stride, i < count."""
+
+    base: Expr
+    stride: Expr
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"ramp count must be >= 1, got {self.count}")
+        if self.base.type.lanes != self.stride.type.lanes:
+            raise ValueError(
+                f"ramp base/stride lane mismatch: {self.base.type} vs "
+                f"{self.stride.type}"
+            )
+
+    @property
+    def type(self) -> DataType:
+        return promote(self.base.type, self.stride.type).widen_lanes(self.count)
+
+
+@dataclass(frozen=True)
+class Broadcast(Expr):
+    """``xN(value)``: N concatenated copies of ``value``."""
+
+    value: Expr
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"broadcast count must be >= 1, got {self.count}")
+
+    @property
+    def type(self) -> DataType:
+        return self.value.type.widen_lanes(self.count)
+
+
+@dataclass(frozen=True)
+class VectorReduce(Expr):
+    """Sums adjacent groups of lanes down to ``result_lanes`` lanes.
+
+    ``value.lanes`` must be divisible by ``result_lanes``; each output lane
+    ``i`` is the sum of input lanes ``[i*g, (i+1)*g)`` with
+    ``g = value.lanes // result_lanes``.  Only the ``add`` reducer is
+    needed for this paper.
+    """
+
+    op: str
+    value: Expr
+    result_lanes: int
+
+    def __post_init__(self) -> None:
+        if self.value.type.lanes % self.result_lanes != 0:
+            raise ValueError(
+                f"vector_reduce: {self.value.type.lanes} lanes not divisible"
+                f" by {self.result_lanes}"
+            )
+        if self.op != "add":
+            raise ValueError(f"unsupported reduce op {self.op!r}")
+
+    @property
+    def type(self) -> DataType:
+        return self.value.type.with_lanes(self.result_lanes)
+
+
+class CallType:
+    """How a Call node should be resolved."""
+
+    INTRINSIC = "intrinsic"
+    HALIDE = "halide"  # frontend reference to another Func
+    IMAGE = "image"  # frontend reference to an input image
+    EXTERN = "extern"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An intrinsic or function call."""
+
+    dtype: DataType
+    name: str
+    args: Tuple[Expr, ...]
+    call_type: str = CallType.INTRINSIC
+
+    @property
+    def type(self) -> DataType:
+        return self.dtype
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """``let name = value in body``."""
+
+    name: str
+    value: Expr
+    body: Expr
+
+    @property
+    def type(self) -> DataType:
+        return self.body.type
+
+
+@dataclass(frozen=True)
+class Shuffle(Expr):
+    """Select lanes from a concatenation of input vectors.
+
+    ``indices[i]`` picks lane ``indices[i]`` of ``concat(vectors)``.  This
+    is the Halide node that HARDBOILED's shuffle intrinsics
+    (``KWayInterleave``, ``ConvolutionShuffle``) desugar into.
+    """
+
+    vectors: Tuple[Expr, ...]
+    indices: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(v.type.lanes for v in self.vectors)
+        for i in self.indices:
+            if not 0 <= i < total:
+                raise ValueError(f"shuffle index {i} out of range 0..{total-1}")
+
+    @property
+    def type(self) -> DataType:
+        return self.vectors[0].type.with_lanes(len(self.indices))
+
+
+#: Nodes a generic traversal must know about, keyed by child attributes.
+EXPR_CHILDREN = {
+    IntImm: (),
+    FloatImm: (),
+    StringImm: (),
+    Variable: (),
+    Cast: ("value",),
+    Add: ("a", "b"),
+    Sub: ("a", "b"),
+    Mul: ("a", "b"),
+    Div: ("a", "b"),
+    Mod: ("a", "b"),
+    Min: ("a", "b"),
+    Max: ("a", "b"),
+    EQ: ("a", "b"),
+    NE: ("a", "b"),
+    LT: ("a", "b"),
+    LE: ("a", "b"),
+    GT: ("a", "b"),
+    GE: ("a", "b"),
+    And: ("a", "b"),
+    Or: ("a", "b"),
+    Not: ("value",),
+    Select: ("condition", "true_value", "false_value"),
+    Load: ("index",),
+    Ramp: ("base", "stride"),
+    Broadcast: ("value",),
+    VectorReduce: ("value",),
+    Call: ("args",),
+    Let: ("value", "body"),
+    Shuffle: ("vectors",),
+}

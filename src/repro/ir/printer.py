@@ -1,0 +1,169 @@
+"""Terse pretty-printer matching the paper's notation.
+
+A broadcast of ``v`` by ``n`` prints as ``xn(v)``; ramps print as
+``ramp(base, stride, count)``; loads as ``name[index]`` — the format used
+throughout the paper's IR listings (Figs. 2 and 3).
+"""
+
+from __future__ import annotations
+
+from .expr import (
+    Add,
+    And,
+    Broadcast,
+    Call,
+    Cast,
+    Div,
+    EQ,
+    Expr,
+    FloatImm,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Let,
+    Load,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    NE,
+    Not,
+    Or,
+    Ramp,
+    Select,
+    Shuffle,
+    StringImm,
+    Sub,
+    Variable,
+    VectorReduce,
+)
+from .stmt import (
+    Allocate,
+    Block,
+    Evaluate,
+    For,
+    IfThenElse,
+    LetStmt,
+    ProducerConsumer,
+    Stmt,
+    Store,
+)
+
+_BINOP_SYMBOL = {
+    Add: "+",
+    Sub: "-",
+    Mul: "*",
+    Div: "/",
+    Mod: "%",
+    EQ: "==",
+    NE: "!=",
+    LT: "<",
+    LE: "<=",
+    GT: ">",
+    GE: ">=",
+    And: "&&",
+    Or: "||",
+}
+
+
+def print_expr(e: Expr) -> str:
+    if isinstance(e, IntImm):
+        return str(e.value)
+    if isinstance(e, FloatImm):
+        value = f"{e.value:g}"
+        if "." not in value and "e" not in value and "inf" not in value:
+            value += ".0"
+        return f"{value}f"
+    if isinstance(e, StringImm):
+        return repr(e.value)
+    if isinstance(e, Variable):
+        return e.name
+    if isinstance(e, Cast):
+        return f"cast<{e.dtype}>({print_expr(e.value)})"
+    if isinstance(e, Broadcast):
+        return f"x{e.count}({print_expr(e.value)})"
+    if isinstance(e, Ramp):
+        return (
+            f"ramp({print_expr(e.base)}, {print_expr(e.stride)}, {e.count})"
+        )
+    if isinstance(e, VectorReduce):
+        return (
+            f"({e.type})vector_reduce_{e.op}({print_expr(e.value)}, "
+            f"{e.result_lanes})"
+        )
+    if isinstance(e, Load):
+        return f"{e.name}[{print_expr(e.index)}]"
+    if isinstance(e, Call):
+        args = ", ".join(print_expr(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, Select):
+        return (
+            f"select({print_expr(e.condition)}, {print_expr(e.true_value)},"
+            f" {print_expr(e.false_value)})"
+        )
+    if isinstance(e, Not):
+        return f"!({print_expr(e.value)})"
+    if isinstance(e, Let):
+        return (
+            f"(let {e.name} = {print_expr(e.value)} in {print_expr(e.body)})"
+        )
+    if isinstance(e, Shuffle):
+        vecs = ", ".join(print_expr(v) for v in e.vectors)
+        if len(e.indices) > 16:
+            idx = ", ".join(map(str, e.indices[:16])) + ", ..."
+        else:
+            idx = ", ".join(map(str, e.indices))
+        return f"shuffle([{vecs}], [{idx}])"
+    symbol = _BINOP_SYMBOL.get(type(e))
+    if symbol is not None:
+        return f"({print_expr(e.a)} {symbol} {print_expr(e.b)})"
+    raise NotImplementedError(f"cannot print {type(e).__name__}")
+
+
+def print_stmt(s: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(s, Store):
+        return f"{pad}{s.name}[{print_expr(s.index)}] = {print_expr(s.value)}"
+    if isinstance(s, Evaluate):
+        return f"{pad}{print_expr(s.value)}"
+    if isinstance(s, For):
+        header = (
+            f"{pad}{s.kind.value} {s.name} in "
+            f"[{print_expr(s.min_expr)}, {print_expr(s.min_expr)} + "
+            f"{print_expr(s.extent)}):"
+        )
+        return header + "\n" + print_stmt(s.body, indent + 1)
+    if isinstance(s, Block):
+        return "\n".join(print_stmt(part, indent) for part in s.stmts)
+    if isinstance(s, Allocate):
+        extents = " * ".join(print_expr(e) for e in s.extents)
+        header = (
+            f"{pad}allocate {s.name}[{s.dtype} * {extents}]"
+            f" in {s.memory_type.value}"
+        )
+        return header + "\n" + print_stmt(s.body, indent)
+    if isinstance(s, LetStmt):
+        return (
+            f"{pad}let {s.name} = {print_expr(s.value)}\n"
+            + print_stmt(s.body, indent)
+        )
+    if isinstance(s, IfThenElse):
+        text = f"{pad}if {print_expr(s.condition)}:\n" + print_stmt(
+            s.then_case, indent + 1
+        )
+        if s.else_case is not None:
+            text += f"\n{pad}else:\n" + print_stmt(s.else_case, indent + 1)
+        return text
+    if isinstance(s, ProducerConsumer):
+        tag = "produce" if s.is_producer else "consume"
+        return f"{pad}{tag} {s.name}:\n" + print_stmt(s.body, indent + 1)
+    raise NotImplementedError(f"cannot print {type(s).__name__}")
+
+
+def dump(node) -> str:
+    """Print an expression or statement tree."""
+    if isinstance(node, Expr):
+        return print_expr(node)
+    return print_stmt(node)

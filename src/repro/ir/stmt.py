@@ -1,0 +1,165 @@
+"""Statement nodes of the Halide-like IR."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .expr import Expr
+from .types import DataType
+
+
+class ForKind(enum.Enum):
+    """Execution strategy of a loop dimension."""
+
+    SERIAL = "for"
+    PARALLEL = "parallel"
+    VECTORIZED = "vectorized"
+    UNROLLED = "unrolled"
+    GPU_BLOCK = "gpu_block"
+    GPU_THREAD = "gpu_thread"
+    GPU_LANE = "gpu_lane"  # warp lane loop used for WMMA statements
+
+
+class MemoryType(enum.Enum):
+    """Where a buffer lives.
+
+    ``AMX_TILE`` and ``WMMA_ACCUMULATOR`` are the scheduling hooks the user
+    pulls (via ``Func.store_in``) to request tensor-accelerator storage —
+    the trigger for HARDBOILED instruction selection.
+    """
+
+    AUTO = "auto"
+    HEAP = "heap"
+    STACK = "stack"
+    REGISTER = "register"
+    GPU_SHARED = "gpu_shared"
+    AMX_TILE = "amx_tile"
+    WMMA_ACCUMULATOR = "wmma_accumulator"
+
+    def is_accelerator(self) -> bool:
+        return self in (MemoryType.AMX_TILE, MemoryType.WMMA_ACCUMULATOR)
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for all IR statements."""
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """``name[index] = value`` — a (possibly vector) store."""
+
+    name: str
+    index: Expr
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if self.index.type.lanes != self.value.type.lanes:
+            raise ValueError(
+                f"store lane mismatch into {self.name!r}: index "
+                f"{self.index.type.lanes} lanes, value "
+                f"{self.value.type.lanes} lanes"
+            )
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """A loop over ``[min_expr, min_expr + extent)``."""
+
+    name: str
+    min_expr: Expr
+    extent: Expr
+    kind: ForKind
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    """A sequence of statements."""
+
+    stmts: Tuple[Stmt, ...]
+
+    @staticmethod
+    def make(stmts) -> Stmt:
+        """Build a block, flattening nested blocks and dropping no-ops."""
+        flat = []
+        for s in stmts:
+            if s is None:
+                continue
+            if isinstance(s, Block):
+                flat.extend(s.stmts)
+            else:
+                flat.append(s)
+        if len(flat) == 1:
+            return flat[0]
+        return Block(tuple(flat))
+
+
+@dataclass(frozen=True)
+class Allocate(Stmt):
+    """Allocate a buffer for the duration of ``body``."""
+
+    name: str
+    dtype: DataType
+    extents: Tuple[Expr, ...]
+    memory_type: MemoryType
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class LetStmt(Stmt):
+    name: str
+    value: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class IfThenElse(Stmt):
+    condition: Expr
+    then_case: Stmt
+    else_case: Optional[Stmt] = None
+
+
+@dataclass(frozen=True)
+class Evaluate(Stmt):
+    """Evaluate an expression for its side effects (e.g. ``tile_store``)."""
+
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ProducerConsumer(Stmt):
+    """Marks the region that computes (produces) a Func's buffer."""
+
+    name: str
+    is_producer: bool
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Provide(Stmt):
+    """Pre-flattening store: ``name(args...) = value``.
+
+    Lowering emits Provide nodes while loop nests are being built; storage
+    flattening replaces them with flat-indexed :class:`Store` nodes.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+    value: Expr
+
+
+#: Child statement/expression attributes for generic traversal.
+STMT_CHILDREN = {
+    Store: (("index", "value"), ()),
+    Provide: (("args", "value"), ()),
+    For: (("min_expr", "extent"), ("body",)),
+    Block: ((), ("stmts",)),
+    Allocate: (("extents",), ("body",)),
+    LetStmt: (("value",), ("body",)),
+    IfThenElse: (("condition",), ("then_case", "else_case")),
+    Evaluate: (("value",), ()),
+    ProducerConsumer: ((), ("body",)),
+}

@@ -1,0 +1,92 @@
+"""Generic traversal and rewriting over IR trees.
+
+Both the visitor and the mutator dispatch on the node's class name: define
+``visit_Add`` / ``mutate_Load`` etc. on a subclass to intercept specific
+nodes; everything else is traversed generically via dataclass fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from .expr import Expr
+from .stmt import Stmt
+
+
+def _is_node(value: Any) -> bool:
+    return isinstance(value, (Expr, Stmt))
+
+
+class IRVisitor:
+    """Read-only traversal; override ``visit_<ClassName>`` to intercept."""
+
+    def visit(self, node):
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node):
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            if _is_node(value):
+                self.visit(value)
+            elif isinstance(value, tuple):
+                for item in value:
+                    if _is_node(item):
+                        self.visit(item)
+        return None
+
+
+class IRMutator:
+    """Rebuilds the tree bottom-up; override ``mutate_<ClassName>``.
+
+    Nodes are only reconstructed when a child actually changed, so
+    un-modified subtrees keep their identity (cheap and cache-friendly).
+    """
+
+    def mutate(self, node):
+        if node is None:
+            return None
+        method = getattr(self, f"mutate_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_mutate(node)
+
+    def generic_mutate(self, node):
+        changes = {}
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            if _is_node(value):
+                new = self.mutate(value)
+                if new is not value:
+                    changes[f.name] = new
+            elif isinstance(value, tuple) and any(_is_node(v) for v in value):
+                new_items = tuple(
+                    self.mutate(v) if _is_node(v) else v for v in value
+                )
+                if any(a is not b for a, b in zip(new_items, value)):
+                    changes[f.name] = new_items
+        if not changes:
+            return node
+        return dataclasses.replace(node, **changes)
+
+
+class NodeCounter(IRVisitor):
+    """Counts nodes, optionally filtered by a predicate."""
+
+    def __init__(self, predicate=None):
+        self.count = 0
+        self.predicate = predicate
+
+    def generic_visit(self, node):
+        if self.predicate is None or self.predicate(node):
+            self.count += 1
+        return super().generic_visit(node)
+
+
+def count_nodes(node, predicate=None) -> int:
+    counter = NodeCounter(predicate)
+    counter.visit(node)
+    return counter.count

@@ -1,0 +1,36 @@
+"""Linear-algebra substrates: Toeplitz, DCT, Lanczos, recursive filters."""
+
+from .dct import (
+    dct2,
+    dct_matrix,
+    direct_dct_flop_count,
+    fast_dct,
+    fast_dct_flop_count,
+    idct2,
+    idct_matrix,
+)
+from .lanczos import (
+    ResampleMatrix,
+    build_resample_matrix,
+    lanczos,
+    resample_2d,
+    resample_coefficients,
+)
+from .recfilter import (
+    dilated_recurrence,
+    homogeneous_response,
+    hoppe_tiled_filter,
+    recursive_filter_serial,
+    sla_decompose,
+    sla_filter,
+)
+from .toeplitz import (
+    conv1d_reference,
+    conv_toeplitz,
+    downsample_toeplitz,
+    kway_interleave,
+    toeplitz_from_kernel,
+    upsample_matrix,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

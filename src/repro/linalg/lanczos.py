@@ -1,0 +1,157 @@
+"""Lanczos resampling support (paper §V-C).
+
+Non-integer-factor resizing convolves with a three-lobed Lanczos
+pre-filter sized to the output rate, then samples at the lower rate.
+Because every column of the image undergoes the same linear
+transformation, the filter evaluations are precomputed into one sparse
+(banded) matrix per axis; re-banding it into *block*-sparse form (groups
+of 16 rows sharing a start column) is what makes it tileable — and
+tensor-core friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+LOBES = 3
+
+
+def lanczos(x: np.ndarray, lobes: int = LOBES) -> np.ndarray:
+    """The Lanczos window: sinc(x) * sinc(x / lobes) on [-lobes, lobes]."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.sinc(x) * np.sinc(x / lobes)
+    return np.where(np.abs(x) < lobes, out, 0.0)
+
+
+@dataclass
+class ResampleMatrix:
+    """A banded resampling matrix in block-sparse form.
+
+    ``starts[b]`` is the first input row used by output-row block ``b``;
+    ``bands[b]`` is a dense ``(block, width)`` coefficient block.  Output
+    block ``b`` is ``bands[b] @ input[starts[b] : starts[b] + width]``.
+    """
+
+    out_size: int
+    in_size: int
+    block: int
+    width: int
+    starts: np.ndarray  # (num_blocks,)
+    bands: np.ndarray  # (num_blocks, block, width)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.starts)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.out_size, self.in_size), dtype=np.float32)
+        for b in range(self.num_blocks):
+            lo = self.starts[b]
+            rows = slice(b * self.block, min((b + 1) * self.block, self.out_size))
+            n_rows = rows.stop - rows.start
+            width = min(self.width, self.in_size - lo)
+            dense[rows, lo : lo + width] = self.bands[b, :n_rows, :width]
+        return dense
+
+    def apply(self, columns: np.ndarray) -> np.ndarray:
+        """Resample along axis 0 of ``columns`` (shape (in_size, ...))."""
+        out_shape = (self.out_size,) + columns.shape[1:]
+        out = np.zeros(out_shape, dtype=np.float32)
+        for b in range(self.num_blocks):
+            lo = int(self.starts[b])
+            hi = min(lo + self.width, self.in_size)
+            segment = columns[lo:hi]
+            if hi - lo < self.width:
+                pad = np.zeros(
+                    (self.width - (hi - lo),) + columns.shape[1:],
+                    dtype=columns.dtype,
+                )
+                segment = np.concatenate([segment, pad], axis=0)
+            rows = slice(b * self.block, min((b + 1) * self.block, self.out_size))
+            out[rows] = np.tensordot(
+                self.bands[b, : rows.stop - rows.start], segment, axes=(1, 0)
+            )
+        return out
+
+
+def resample_coefficients(
+    in_size: int, out_size: int, lobes: int = LOBES
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-output-row (start, taps) of the Lanczos pre-filter.
+
+    The filter footprint scales with the downsampling ratio so that the
+    pre-filter rejects frequencies unrepresentable at the output rate.
+    """
+    ratio = in_size / out_size
+    support = lobes * max(ratio, 1.0)
+    taps = int(np.ceil(2 * support)) + 1
+    starts = np.empty(out_size, dtype=np.int64)
+    coeffs = np.zeros((out_size, taps), dtype=np.float64)
+    for o in range(out_size):
+        center = (o + 0.5) * ratio - 0.5
+        lo = int(np.floor(center - support + 0.5))
+        starts[o] = lo
+        positions = lo + np.arange(taps)
+        weights = lanczos((positions - center) / max(ratio, 1.0), lobes)
+        total = weights.sum()
+        if total != 0:
+            weights = weights / total
+        coeffs[o] = weights
+    return starts, coeffs
+
+
+def build_resample_matrix(
+    in_size: int, out_size: int, block: int = 16, lobes: int = LOBES
+) -> ResampleMatrix:
+    """Block-sparse Lanczos resampling matrix (§V-C).
+
+    Groups of ``block`` output rows share a start column; the band
+    widens to cover every row in the group (the "unnecessary
+    multiplications by zero" the paper accepts for tileability).
+    """
+    starts, coeffs = resample_coefficients(in_size, out_size, lobes)
+    taps = coeffs.shape[1]
+    num_blocks = (out_size + block - 1) // block
+    block_starts = np.empty(num_blocks, dtype=np.int64)
+    widths = []
+    for b in range(num_blocks):
+        rows = range(b * block, min((b + 1) * block, out_size))
+        lo = min(starts[o] for o in rows)
+        hi = max(starts[o] + taps for o in rows)
+        block_starts[b] = max(lo, 0)
+        widths.append(hi - block_starts[b])
+    width = int(max(widths))
+    # round up to a multiple of 16 so tiles map onto WMMA k-dim cleanly
+    width = ((width + 15) // 16) * 16
+    bands = np.zeros((num_blocks, block, width), dtype=np.float32)
+    for b in range(num_blocks):
+        for i, o in enumerate(
+            range(b * block, min((b + 1) * block, out_size))
+        ):
+            for t in range(taps):
+                # clamp out-of-range source samples to the image edge
+                src = min(max(starts[o] + t, 0), in_size - 1)
+                col = src - block_starts[b]
+                if 0 <= col < width:
+                    bands[b, i, col] += coeffs[o, t]
+    return ResampleMatrix(
+        out_size=out_size,
+        in_size=in_size,
+        block=block,
+        width=width,
+        starts=block_starts,
+        bands=bands,
+    )
+
+
+def resample_2d(
+    image: np.ndarray, out_h: int, out_w: int, block: int = 16
+) -> np.ndarray:
+    """Separable resize: vertical then horizontal block-sparse passes."""
+    vertical = build_resample_matrix(image.shape[0], out_h, block)
+    horizontal = build_resample_matrix(image.shape[1], out_w, block)
+    tmp = vertical.apply(image.astype(np.float32))
+    return horizontal.apply(tmp.T).T

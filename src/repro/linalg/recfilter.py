@@ -1,0 +1,138 @@
+"""Recursive-filter math for the audio case study (paper §V-D).
+
+A second-order recursive filter ``y[t] = x[t] + a*y[t-1] + b*y[t-2]`` is
+parallelized two ways, exactly as in the paper:
+
+* **Scattered-lookahead (SLA)** interpolation (Parhi & Messerschmitt):
+  for a dilation ``d``, the filter factors into a *non-recursive* FIR
+  prefilter of ``2d - 1`` taps followed by a dilated recurrence
+  ``y[t] = u[t] + a_d*y[t-d] + b_d*y[t-2d]`` whose steps are independent
+  across ``t mod d`` — an inner parallel loop of width ``d``.
+* **Hoppe tiling** (Nehab et al.): tiles are filtered independently from
+  zero state, then a fix-up pass adds each previous tile's tail
+  propagated through the homogeneous response — an outer parallel loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def recursive_filter_serial(
+    x: np.ndarray, a: float, b: float
+) -> np.ndarray:
+    """The direct, fully serial reference filter."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.empty_like(x)
+    y_1 = 0.0
+    y_2 = 0.0
+    for t in range(len(x)):
+        y[t] = x[t] + a * y_1 + b * y_2
+        y_2 = y_1
+        y_1 = y[t]
+    return y
+
+
+def sla_decompose(a: float, b: float, d: int) -> Tuple[np.ndarray, float, float]:
+    """Scattered-lookahead decomposition with dilation ``d``.
+
+    Returns ``(fir, a_d, b_d)``: the FIR prefilter (2d-1 taps, index 0 is
+    the current sample) and the dilated recurrence coefficients.  The
+    characteristic roots ``p, q`` of ``1 - a z^-1 - b z^-2`` become
+    ``p^d, q^d``; the FIR is the exact polynomial quotient
+    ``(1 - a_d z^-d - b_d z^-2d) / (1 - a z^-1 - b z^-2)``.
+    """
+    roots = np.roots([1.0, -a, -b]).astype(complex)
+    p, q = roots
+    a_d = (p**d + q**d).real
+    b_d = -((p * q) ** d).real
+    # divide A_d(z) (in z^-1, degree 2d) by A(z) (degree 2)
+    a_big = np.zeros(2 * d + 1)
+    a_big[0] = 1.0
+    a_big[d] = -a_d
+    a_big[2 * d] = -b_d
+    a_small = np.array([1.0, -a, -b])
+    fir, remainder = np.polydiv(a_big, a_small)
+    if np.max(np.abs(remainder)) > 1e-8:
+        raise ValueError(
+            f"SLA decomposition inexact for a={a}, b={b}, d={d}:"
+            f" remainder {np.max(np.abs(remainder)):.2e}"
+        )
+    return fir.astype(np.float64), float(a_d), float(b_d)
+
+
+def dilated_recurrence(
+    u: np.ndarray, a_d: float, b_d: float, d: int
+) -> np.ndarray:
+    """``y[t] = u[t] + a_d*y[t-d] + b_d*y[t-2d]``; parallel across t%d."""
+    u = np.asarray(u, dtype=np.float64)
+    y = u.copy()
+    for t in range(d, len(u)):
+        if t >= 2 * d:
+            y[t] += a_d * y[t - d] + b_d * y[t - 2 * d]
+        else:
+            y[t] += a_d * y[t - d]
+    return y
+
+
+def sla_filter(x: np.ndarray, a: float, b: float, d: int) -> np.ndarray:
+    """The full SLA pipeline: FIR prefilter then dilated recurrence."""
+    fir, a_d, b_d = sla_decompose(a, b, d)
+    x = np.asarray(x, dtype=np.float64)
+    padded = np.concatenate([np.zeros(len(fir) - 1), x])
+    u = np.convolve(padded, fir, mode="valid")
+    return dilated_recurrence(u, a_d, b_d, d)
+
+
+@dataclass
+class HomogeneousResponse:
+    """Impulse responses of the two filter states over one tile."""
+
+    h1: np.ndarray  # response to y[-1] = 1
+    h2: np.ndarray  # response to y[-2] = 1
+
+
+def homogeneous_response(a: float, b: float, tile: int) -> HomogeneousResponse:
+    h1 = np.zeros(tile)
+    h2 = np.zeros(tile)
+    y1, y2 = 1.0, 0.0
+    z1, z2 = 0.0, 1.0
+    for t in range(tile):
+        h1[t] = a * y1 + b * y2
+        h2[t] = a * z1 + b * z2
+        y2, y1 = y1, h1[t]
+        z2, z1 = z1, h2[t]
+    return HomogeneousResponse(h1, h2)
+
+
+def hoppe_tiled_filter(
+    x: np.ndarray, a: float, b: float, tile: int
+) -> np.ndarray:
+    """Hoppe-style tiled filtering: independent tiles + serial fix-up.
+
+    Pass 1 (parallel across tiles): filter each tile from zero state.
+    Pass 2 (serial scan over tiles, parallel within): add the previous
+    tile's true tail propagated through the homogeneous response.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = len(x)
+    if n % tile != 0:
+        raise ValueError(f"signal length {n} not divisible by tile {tile}")
+    num_tiles = n // tile
+    partial = np.empty_like(x)
+    for i in range(num_tiles):  # parallel on real hardware
+        partial[i * tile : (i + 1) * tile] = recursive_filter_serial(
+            x[i * tile : (i + 1) * tile], a, b
+        )
+    response = homogeneous_response(a, b, tile)
+    out = partial.copy()
+    for i in range(1, num_tiles):  # the fix-up scan
+        tail1 = out[i * tile - 1]
+        tail2 = out[i * tile - 2]
+        out[i * tile : (i + 1) * tile] += (
+            tail1 * response.h1 + tail2 * response.h2
+        )
+    return out

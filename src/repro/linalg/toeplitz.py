@@ -1,0 +1,73 @@
+"""Host-side Toeplitz constructions (paper §V-A/V-B).
+
+These mirror the shuffle intrinsics HARDBOILED emits
+(:mod:`repro.hardboiled.intrinsics`) and serve as the mathematical
+reference implementations for tests and the resampling application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardboiled.intrinsics import kway_interleave, toeplitz_from_kernel
+
+
+def conv_toeplitz(kernel: np.ndarray, outputs: int) -> np.ndarray:
+    """A_K of §V-A: ``(outputs + taps) x outputs`` with
+    ``A[c, j] = K[c - j]``; ``windows @ A_K`` computes the convolution."""
+    taps = len(kernel)
+    return toeplitz_from_kernel(
+        np.asarray(kernel, np.float32), outputs + taps, outputs, stride=1
+    )
+
+
+def downsample_toeplitz(kernel: np.ndarray, outputs: int) -> np.ndarray:
+    """A_down of §V-B: stride-2 Toeplitz, ``(2*outputs + taps) x outputs``."""
+    taps = len(kernel)
+    return toeplitz_from_kernel(
+        np.asarray(kernel, np.float32), 2 * outputs + taps, outputs, stride=2
+    )
+
+
+def upsample_matrix(kernel: np.ndarray, in_positions: int) -> np.ndarray:
+    """A_up of §V-B for factor-2 upsampling (1-D).
+
+    Output column ``j = 2u + p`` produces output pixel ``2u + p`` from
+    input offset ``u`` with phase ``p``; entry ``[c, j]`` holds
+    ``K[2*(c - u) + p]``.  Shape: ``(in_positions + taps//2) x
+    (2 * in_positions)``.
+    """
+    kernel = np.asarray(kernel, np.float32)
+    taps = len(kernel)
+    half = taps // 2
+    rows = in_positions + half
+    cols = 2 * in_positions
+    out = np.zeros((rows, cols), dtype=np.float32)
+    for c in range(rows):
+        for j in range(cols):
+            u, p = divmod(j, 2)
+            t = 2 * (c - u) + p
+            if 0 <= t < taps:
+                out[c, j] = kernel[t]
+    return out
+
+
+def conv1d_reference(signal: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Direct 1-D convolution: ``out[x] = sum_t signal[x+t] * kernel[t]``."""
+    signal = np.asarray(signal, np.float32)
+    kernel = np.asarray(kernel, np.float32)
+    n = len(signal) - len(kernel) + 1
+    return np.array(
+        [signal[i : i + len(kernel)] @ kernel for i in range(n)],
+        dtype=np.float32,
+    )
+
+
+__all__ = [
+    "conv_toeplitz",
+    "conv1d_reference",
+    "downsample_toeplitz",
+    "kway_interleave",
+    "toeplitz_from_kernel",
+    "upsample_matrix",
+]

@@ -1,0 +1,32 @@
+"""Lowering passes: loop building, flattening, vectorization, simplify."""
+
+from .bounds import BoundsError, Interval, interval_of, required_regions
+from .build import (
+    Lowerer,
+    LoweringError,
+    RealizationInfo,
+    flatten_storage,
+    reachable_funcs,
+)
+from .pipeline import Lowered, lower
+from .simplify import simplify_expr, simplify_stmt
+from .vectorize import VectorizeError, block_repeat, vectorize_loops
+
+__all__ = [
+    "BoundsError",
+    "Interval",
+    "Lowered",
+    "Lowerer",
+    "LoweringError",
+    "RealizationInfo",
+    "VectorizeError",
+    "block_repeat",
+    "flatten_storage",
+    "interval_of",
+    "lower",
+    "reachable_funcs",
+    "required_regions",
+    "simplify_expr",
+    "simplify_stmt",
+    "vectorize_loops",
+]

@@ -1,0 +1,33 @@
+"""Loop cleanups: drop extent-1 and extent-0 loops.
+
+Splitting a dimension by its full extent leaves a remnant loop of extent
+one (e.g. ``vectorize(x, 16)`` on a 16-wide dimension).  Removing these
+before vectorization keeps vectorized dimensions properly innermost.
+"""
+
+from __future__ import annotations
+
+from ..ir import Block, For, Stmt, as_int, is_const, substitute
+from ..ir.visitor import IRMutator
+
+
+class _TrivialLoopRemover(IRMutator):
+    def mutate_For(self, node: For):
+        body = self.mutate(node.body)
+        if is_const(node.extent):
+            extent = as_int(node.extent)
+            if extent == 0:
+                return Block(())
+            if extent == 1:
+                return substitute_stmt_var(body, node.name, node.min_expr)
+        if body is node.body:
+            return node
+        return For(node.name, node.min_expr, node.extent, node.kind, body)
+
+
+def substitute_stmt_var(stmt: Stmt, name: str, value):
+    return substitute(stmt, {name: value})
+
+
+def remove_trivial_loops(stmt: Stmt) -> Stmt:
+    return _TrivialLoopRemover().mutate(stmt)

@@ -1,0 +1,57 @@
+"""Pass orchestration: Func DAG -> executable lowered statement."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..frontend.func import Func
+from ..ir import Stmt
+from .build import Lowerer, RealizationInfo, flatten_storage
+from .cleanup import remove_trivial_loops
+from .simplify import simplify_stmt
+from .vectorize import vectorize_loops
+
+
+@dataclass
+class Lowered:
+    """The result of lowering (pre- or post-instruction-selection)."""
+
+    stmt: Stmt
+    realizations: Dict[str, RealizationInfo]
+    output: Func
+    atomic_vars: Set[str]
+    #: wall-clock seconds per pass, for the compile-time experiments
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+def lower(
+    output: Func,
+    *,
+    vectorize: bool = True,
+    simplify: bool = True,
+) -> Lowered:
+    """Lower a scheduled Func to vectorized, simplified IR."""
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    lowerer = Lowerer(output)
+    skeleton = lowerer.lower()
+    timings["build"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stmt = flatten_storage(skeleton, lowerer.realizations)
+    stmt = remove_trivial_loops(stmt)
+    timings["flatten"] = time.perf_counter() - start
+
+    if vectorize:
+        start = time.perf_counter()
+        stmt = vectorize_loops(stmt, lowerer.atomic_vars)
+        timings["vectorize"] = time.perf_counter() - start
+    if simplify:
+        start = time.perf_counter()
+        stmt = simplify_stmt(stmt)
+        timings["simplify"] = time.perf_counter() - start
+    return Lowered(
+        stmt, lowerer.realizations, output, lowerer.atomic_vars, timings
+    )

@@ -1,0 +1,13 @@
+"""Roofline performance model and reporting helpers."""
+
+from .report import fmt_time, format_table, speedup
+from .roofline import Efficiency, PerfModel, TimeBreakdown
+
+__all__ = [
+    "Efficiency",
+    "PerfModel",
+    "TimeBreakdown",
+    "fmt_time",
+    "format_table",
+    "speedup",
+]

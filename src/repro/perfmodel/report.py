@@ -1,0 +1,34 @@
+"""Small text-table helpers for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+
+    def fmt(row):
+        return "  ".join(
+            str(cell).ljust(width) for cell, width in zip(row, widths)
+        )
+
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def speedup(baseline_s: float, accelerated_s: float) -> float:
+    return baseline_s / accelerated_s
+
+
+def fmt_time(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

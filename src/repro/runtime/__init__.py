@@ -1,0 +1,14 @@
+"""Execution runtime: buffers, the instrumented interpreter, counters."""
+
+from .buffer import Buffer
+from .counters import Counters
+from .interpreter import INTRINSICS, Interpreter, memory_level, register_intrinsic
+
+__all__ = [
+    "Buffer",
+    "Counters",
+    "INTRINSICS",
+    "Interpreter",
+    "memory_level",
+    "register_intrinsic",
+]

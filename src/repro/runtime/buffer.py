@@ -1,0 +1,153 @@
+"""Numpy-backed buffers with Halide's dimension convention.
+
+Halide (and this repo) writes the *innermost* dimension first:
+``extents[0]`` is the fastest-varying axis.  A numpy array's *last* axis
+is fastest-varying, so conversion reverses the shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..ir.stmt import MemoryType
+from ..ir.types import DataType, TypeCode
+from ..targets.bfloat16 import round_to_bfloat16
+
+
+class Buffer:
+    """A flat, typed allocation addressed by flattened indices.
+
+    Parameters
+    ----------
+    name:
+        Buffer name as referenced by ``Load``/``Store`` nodes.
+    dtype:
+        Scalar element type.  bfloat16 elements are stored as float32
+        holding bf16-rounded values.
+    extents:
+        Sizes per dimension, innermost first.
+    memory_type:
+        Where the buffer notionally lives; drives traffic accounting.
+    is_external:
+        True for pipeline inputs/outputs (counted as DRAM traffic).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        extents: Tuple[int, ...],
+        memory_type: MemoryType = MemoryType.HEAP,
+        is_external: bool = False,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        if dtype.lanes != 1:
+            raise ValueError("buffers hold scalar element types")
+        self.name = name
+        self.dtype = dtype
+        self.extents = tuple(int(e) for e in extents)
+        self.memory_type = memory_type
+        self.is_external = is_external
+        self.size = int(np.prod(self.extents)) if self.extents else 1
+        np_dtype = dtype.to_numpy()
+        if data is None:
+            self.data = np.zeros(self.size, dtype=np_dtype)
+        else:
+            flat = np.asarray(data, dtype=np_dtype).ravel()
+            if flat.size != self.size:
+                raise ValueError(
+                    f"data size {flat.size} != buffer size {self.size}"
+                )
+            self.data = flat.copy()
+            if dtype.code is TypeCode.BFLOAT:
+                self.data = round_to_bfloat16(self.data)
+        #: per-element touched masks for footprint accounting
+        self.load_mask = np.zeros(self.size, dtype=bool)
+        self.store_mask = np.zeros(self.size, dtype=bool)
+
+    # -- strides (dense, innermost first) -----------------------------------
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        strides = []
+        acc = 1
+        for extent in self.extents:
+            strides.append(acc)
+            acc *= extent
+        return tuple(strides)
+
+    def flatten_index(self, coords: Tuple[int, ...]) -> int:
+        return int(sum(c * s for c, s in zip(coords, self.strides)))
+
+    # -- numpy conversion ----------------------------------------------------
+
+    @classmethod
+    def from_numpy(
+        cls,
+        name: str,
+        array: np.ndarray,
+        dtype: Optional[DataType] = None,
+        memory_type: MemoryType = MemoryType.HEAP,
+        is_external: bool = True,
+    ) -> "Buffer":
+        """Wrap a numpy array; numpy's last axis becomes dimension 0."""
+        from ..ir.types import Float, Int, UInt
+
+        if dtype is None:
+            kind = array.dtype.kind
+            bits = array.dtype.itemsize * 8
+            if kind == "f":
+                dtype = Float(bits)
+            elif kind == "i":
+                dtype = Int(bits)
+            elif kind == "u":
+                dtype = UInt(bits)
+            else:
+                raise ValueError(f"unsupported numpy dtype {array.dtype}")
+        extents = tuple(reversed(array.shape))
+        return cls(
+            name,
+            dtype,
+            extents,
+            memory_type=memory_type,
+            is_external=is_external,
+            data=np.ascontiguousarray(array),
+        )
+
+    def to_numpy(self) -> np.ndarray:
+        """View as a numpy array (outermost dimension first)."""
+        shape = tuple(reversed(self.extents))
+        return self.data.reshape(shape)
+
+    # -- element access ------------------------------------------------------
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        self.load_mask[indices] = True
+        return self.data[indices]
+
+    def scatter(self, indices: np.ndarray, values: np.ndarray) -> None:
+        self.store_mask[indices] = True
+        if self.dtype.code is TypeCode.BFLOAT:
+            values = round_to_bfloat16(values)
+        self.data[indices] = values
+
+    # -- accounting ----------------------------------------------------------
+
+    def load_footprint_bytes(self) -> int:
+        return int(self.load_mask.sum()) * self.dtype.bytes_per_lane()
+
+    def store_footprint_bytes(self) -> int:
+        return int(self.store_mask.sum()) * self.dtype.bytes_per_lane()
+
+    def reset_masks(self) -> None:
+        self.load_mask[:] = False
+        self.store_mask[:] = False
+
+    def __repr__(self) -> str:
+        return (
+            f"Buffer({self.name!r}, {self.dtype}, extents={self.extents}, "
+            f"{self.memory_type.value})"
+        )

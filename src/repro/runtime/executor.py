@@ -1,0 +1,87 @@
+"""Realizing compiled pipelines against numpy inputs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..frontend.func import Func, ImageParam
+from ..ir import as_int
+from ..lowering.pipeline import Lowered, lower
+from .buffer import Buffer
+from .counters import Counters
+from .interpreter import Interpreter
+
+# importing the target simulators registers their intrinsic handlers
+from ..targets import amx as _amx  # noqa: F401
+from ..targets import wmma as _wmma  # noqa: F401
+from ..hardboiled import intrinsics as _hb_intrinsics  # noqa: F401
+
+InputMap = Dict[Union[str, ImageParam], np.ndarray]
+
+
+class CompiledPipeline:
+    """A lowered pipeline ready to run repeatedly."""
+
+    def __init__(self, lowered: Lowered) -> None:
+        self.lowered = lowered
+        self.output_name = lowered.output.name
+        info = lowered.realizations[self.output_name]
+        self.output_extents = tuple(as_int(e) for e in info.extents)
+        self.output_dtype = lowered.output.dtype.element_of()
+
+    def run(
+        self,
+        inputs: Optional[InputMap] = None,
+        counters: Optional[Counters] = None,
+    ) -> np.ndarray:
+        buffers = {}
+        env = {}
+        for key, array in (inputs or {}).items():
+            name = key.name if isinstance(key, ImageParam) else str(key)
+            dtype = key.dtype if isinstance(key, ImageParam) else None
+            buf = Buffer.from_numpy(name, array, dtype=dtype)
+            buffers[name] = buf
+            for d, stride in enumerate(buf.strides):
+                if d > 0:
+                    env[f"{name}.stride.{d}"] = stride
+        out = Buffer(
+            self.output_name,
+            self.output_dtype,
+            self.output_extents,
+            is_external=True,
+        )
+        buffers[self.output_name] = out
+        interp = Interpreter(buffers, counters)
+        interp.run(self.lowered.stmt, env)
+        if counters is not None:
+            from .interpreter import memory_level
+
+            for buf in buffers.values():
+                level = memory_level(buf)
+                counters.add_load(
+                    f"{level}_unique", buf.load_footprint_bytes()
+                )
+                counters.add_store(
+                    f"{level}_unique", buf.store_footprint_bytes()
+                )
+        return out.to_numpy()
+
+
+def compile_pipeline(output: Func, **lower_kwargs) -> CompiledPipeline:
+    return CompiledPipeline(lower(output, **lower_kwargs))
+
+
+def realize(
+    output: Func,
+    inputs: Optional[InputMap] = None,
+    counters: Optional[Counters] = None,
+    **lower_kwargs,
+) -> np.ndarray:
+    """One-shot: lower, run, and return the output as a numpy array.
+
+    The output array follows numpy convention (outermost dimension first);
+    the Func's first argument is the last numpy axis.
+    """
+    return compile_pipeline(output, **lower_kwargs).run(inputs, counters)

@@ -1,0 +1,5 @@
+"""Hardware target simulators and device models."""
+
+from .bfloat16 import is_bfloat16_exact, round_to_bfloat16
+
+__all__ = ["is_bfloat16_exact", "round_to_bfloat16"]

@@ -1,0 +1,181 @@
+"""Functional simulator for Intel AMX (Advanced Matrix Extensions).
+
+Models the architectural contract HARDBOILED's lowering rules rely on:
+
+* tile registers hold up to 16 rows x 64 bytes (16x32 bf16, 16x16 fp32);
+* ``TDPBF16PS`` computes ``C += A @ B`` where A is 16x32 bf16 (row-major),
+  B is 16x32 bf16 in the *VNNI* layout (pairs of logical rows
+  interleaved), and C is 16x16 fp32;
+* ``tile_load``/``tile_store`` move tiles between memory and registers
+  with a row base/stride addressing scheme.
+
+Tiles flow through the interpreter as flattened numpy arrays (row-major),
+so the simulator is value-oriented: each intrinsic consumes and produces
+tile values.  The register-file limit (8 tiles) is checked by the
+instruction selector, not here.
+
+Intrinsic signatures (as emitted by :mod:`repro.hardboiled`):
+
+* ``tile_zero(rows, cols)``
+* ``tile_load(buffer, base, row_stride, rows, cols)``
+* ``tile_matmul(C, A, B_vnni, m, n, k)`` — TDPBF16PS
+* ``tile_store(buffer, base, row_stride, rows, cols, tile)``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import expr as E
+from ..runtime.interpreter import Interpreter, memory_level, register_intrinsic
+from .bfloat16 import round_to_bfloat16
+
+#: architectural limits (Sapphire Rapids AMX)
+MAX_ROWS = 16
+MAX_BYTES_PER_ROW = 64
+NUM_TILE_REGISTERS = 8
+
+#: the TDPBF16PS tile shape: C[16,16] f32 += A[16,32] bf16 . B[32,16] bf16
+TDP_M = 16
+TDP_N = 16
+TDP_K = 32
+
+
+class AMXError(RuntimeError):
+    pass
+
+
+def check_tile_shape(rows: int, cols: int, bytes_per_element: int) -> None:
+    if rows > MAX_ROWS:
+        raise AMXError(f"AMX tile rows {rows} > {MAX_ROWS}")
+    if cols * bytes_per_element > MAX_BYTES_PER_ROW:
+        raise AMXError(
+            f"AMX tile row of {cols} x {bytes_per_element}B exceeds"
+            f" {MAX_BYTES_PER_ROW} bytes"
+        )
+
+
+def vnni_pack(b: np.ndarray) -> np.ndarray:
+    """Pack a (K, N) matrix into the VNNI layout (K/2, 2N).
+
+    Row pairs are interleaved element-wise: ``vnni[p, 2j + t]`` holds
+    ``b[2p + t, j]``.
+    """
+    k, n = b.shape
+    if k % 2 != 0:
+        raise AMXError(f"VNNI pack needs even K, got {k}")
+    out = np.empty((k // 2, 2 * n), dtype=b.dtype)
+    out[:, 0::2] = b[0::2, :]
+    out[:, 1::2] = b[1::2, :]
+    return out
+
+
+def vnni_unpack(vnni: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`vnni_pack`: (K/2, 2N) -> (K, N)."""
+    kp, n2 = vnni.shape
+    if n2 % 2 != 0:
+        raise AMXError(f"VNNI unpack needs even row length, got {n2}")
+    n = n2 // 2
+    out = np.empty((kp * 2, n), dtype=vnni.dtype)
+    out[0::2, :] = vnni[:, 0::2]
+    out[1::2, :] = vnni[:, 1::2]
+    return out
+
+
+def tdpbf16ps(
+    c: np.ndarray, a: np.ndarray, b_vnni: np.ndarray
+) -> np.ndarray:
+    """The TDPBF16PS instruction: C += A @ unpack(B_vnni), bf16 inputs.
+
+    Hardware multiplies bf16 pairs and accumulates in fp32; rounding the
+    inputs to bf16 here reproduces that precision.
+    """
+    a32 = round_to_bfloat16(np.asarray(a, dtype=np.float32))
+    b = vnni_unpack(round_to_bfloat16(np.asarray(b_vnni, dtype=np.float32)))
+    if a32.shape[1] != b.shape[0]:
+        raise AMXError(
+            f"TDPBF16PS shape mismatch: A {a32.shape} vs B {b.shape}"
+        )
+    return np.asarray(c, dtype=np.float32) + a32 @ b
+
+
+# -- intrinsic handlers ---------------------------------------------------------
+
+
+def _tile_args(interp: Interpreter, call: E.Call, env, n: int):
+    return [interp.eval_expr(a, env) for a in call.args[:n]]
+
+
+@register_intrinsic("tile_zero")
+def _tile_zero(interp: Interpreter, call: E.Call, env):
+    rows = interp.eval_int(call.args[0], env)
+    cols = interp.eval_int(call.args[1], env)
+    check_tile_shape(rows, cols, 4)
+    return np.zeros(rows * cols, dtype=np.float32)
+
+
+@register_intrinsic("tile_load")
+def _tile_load(interp: Interpreter, call: E.Call, env):
+    name_expr = call.args[0]
+    if not isinstance(name_expr, E.StringImm):
+        raise AMXError("tile_load expects a buffer name as first argument")
+    buf = interp.buffer(name_expr.value)
+    base = interp.eval_int(call.args[1], env)
+    stride = interp.eval_int(call.args[2], env)
+    rows = interp.eval_int(call.args[3], env)
+    cols = interp.eval_int(call.args[4], env)
+    check_tile_shape(rows, cols, buf.dtype.bytes_per_lane())
+    idx = (base + np.arange(rows)[:, None] * stride + np.arange(cols)).ravel()
+    if np.any(idx < 0) or np.any(idx >= buf.size):
+        raise AMXError(
+            f"tile_load out of bounds on {buf.name!r}:"
+            f" [{idx.min()}, {idx.max()}] vs size {buf.size}"
+        )
+    values = buf.gather(idx)
+    interp.counters.add_load(
+        memory_level(buf), idx.size * buf.dtype.bytes_per_lane()
+    )
+    return values.astype(np.float32, copy=False)
+
+
+@register_intrinsic("tile_matmul")
+def _tile_matmul(interp: Interpreter, call: E.Call, env):
+    c = interp.eval_vector(call.args[0], env)
+    a = interp.eval_vector(call.args[1], env)
+    b = interp.eval_vector(call.args[2], env)
+    m = interp.eval_int(call.args[3], env)
+    n = interp.eval_int(call.args[4], env)
+    k = interp.eval_int(call.args[5], env)
+    if (m, n, k) != (TDP_M, TDP_N, TDP_K):
+        raise AMXError(
+            f"TDPBF16PS supports m{TDP_M}n{TDP_N}k{TDP_K}, got m{m}n{n}k{k}"
+        )
+    c2 = np.asarray(c, dtype=np.float32).reshape(m, n)
+    a2 = np.asarray(a, dtype=np.float32).reshape(m, k)
+    b2 = np.asarray(b, dtype=np.float32).reshape(k // 2, 2 * n)
+    interp.counters.tensor_macs += m * n * k
+    return tdpbf16ps(c2, a2, b2).ravel()
+
+
+@register_intrinsic("tile_store")
+def _tile_store(interp: Interpreter, call: E.Call, env):
+    name_expr = call.args[0]
+    if not isinstance(name_expr, E.StringImm):
+        raise AMXError("tile_store expects a buffer name as first argument")
+    buf = interp.buffer(name_expr.value)
+    base = interp.eval_int(call.args[1], env)
+    stride = interp.eval_int(call.args[2], env)
+    rows = interp.eval_int(call.args[3], env)
+    cols = interp.eval_int(call.args[4], env)
+    tile = interp.eval_vector(call.args[5], env)
+    idx = (base + np.arange(rows)[:, None] * stride + np.arange(cols)).ravel()
+    if np.any(idx < 0) or np.any(idx >= buf.size):
+        raise AMXError(
+            f"tile_store out of bounds on {buf.name!r}:"
+            f" [{idx.min()}, {idx.max()}] vs size {buf.size}"
+        )
+    buf.scatter(idx, np.asarray(tile, dtype=buf.data.dtype))
+    interp.counters.add_store(
+        memory_level(buf), idx.size * buf.dtype.bytes_per_lane()
+    )
+    return np.float32(0.0)

@@ -1,0 +1,48 @@
+"""bfloat16 emulation on top of numpy.
+
+numpy has no native bfloat16, so bf16 values are *stored* as float32 whose
+mantissa has been truncated to bf16 precision.  Rounding uses
+round-to-nearest-even on the upper 16 bits of the IEEE-754 float32
+representation, which is what AMX / modern hardware implements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def round_to_bfloat16(values: np.ndarray) -> np.ndarray:
+    """Round float32 values to the nearest representable bfloat16.
+
+    Returns float32 storage holding exactly-representable bf16 values.
+    """
+    f32 = np.asarray(values, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    # round-to-nearest-even: add 0x7FFF + LSB of the upper half
+    lsb = (bits >> 16) & 1
+    rounded = bits + 0x7FFF + lsb
+    truncated = rounded & np.uint32(0xFFFF0000)
+    out = truncated.view(np.float32).copy()
+    # NaN payloads must stay NaN (the rounding add can overflow them)
+    nan_mask = np.isnan(f32)
+    if np.any(nan_mask):
+        out[nan_mask] = np.float32(np.nan)
+    return out.reshape(f32.shape)
+
+
+def is_bfloat16_exact(values: np.ndarray) -> np.ndarray:
+    """True where a float32 value is exactly representable in bf16."""
+    f32 = np.asarray(values, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    return (bits & 0xFFFF) == 0
+
+
+def bfloat16_ulp(value: float) -> float:
+    """The distance to the next representable bf16 above ``value``."""
+    f32 = np.float32(value)
+    bits = f32.view(np.uint32) if isinstance(f32, np.ndarray) else np.array(
+        [f32], dtype=np.float32
+    ).view(np.uint32)
+    step = np.uint32(0x10000)
+    upper = (bits + step).view(np.float32)
+    return float(upper[0] - f32)

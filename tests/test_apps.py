@@ -1,0 +1,136 @@
+"""End-to-end correctness of every application, both variants.
+
+For each workload: the CUDA-only schedule, the tensor-accelerator
+schedule (through HARDBOILED), and the numpy reference must agree; the
+tensor variant must actually run its MACs on the (simulated) tensor
+unit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    attention,
+    conv1d,
+    conv2d,
+    conv_layer,
+    dct_denoise,
+    downsample,
+    matmul,
+    recursive_filter,
+    resample,
+    upsample,
+)
+
+SIMPLE_APPS = [
+    (conv1d, {"taps": 16, "rows": 1}),
+    (conv2d, {"taps": 16, "width": 512, "rows": 4}),
+    (downsample, {"taps": 16, "width": 256, "rows": 4}),
+    (upsample, {"width": 256, "rows": 2}),
+    (matmul, {"n": 64}),
+    (conv_layer, {"rows": 2}),
+    (attention, {"length": 128}),
+]
+
+
+@pytest.mark.parametrize(
+    "module,params",
+    SIMPLE_APPS,
+    ids=[m.__name__.split(".")[-1] for m, _ in SIMPLE_APPS],
+)
+class TestAppCorrectness:
+    def test_cuda_matches_reference(self, module, params):
+        app = module.build("cuda", **params)
+        out, counters = app.run_and_measure()
+        np.testing.assert_allclose(
+            out, app.reference(), rtol=4e-2, atol=4e-2
+        )
+        assert counters.tensor_macs == 0
+
+    def test_tensor_matches_reference_on_tensor_unit(self, module, params):
+        app = module.build("tensor", **params)
+        out, counters = app.run_and_measure()
+        np.testing.assert_allclose(
+            out, app.reference(), rtol=4e-2, atol=4e-2
+        )
+        assert counters.tensor_macs > 0
+        assert app.report is None or app.report.all_mapped
+
+    def test_variants_agree(self, module, params):
+        cuda_out = module.build("cuda", **params).run()
+        tensor_out = module.build("tensor", **params).run()
+        np.testing.assert_allclose(
+            cuda_out, tensor_out, rtol=4e-2, atol=4e-2
+        )
+
+
+class TestResample:
+    @pytest.mark.parametrize("variant", ["cuda", "tensor"])
+    def test_pass_matches_blocksparse_reference(self, variant):
+        app = resample.build_pass(
+            variant, in_size=256, out_size=57, columns=32
+        )
+        out = app.run()
+        np.testing.assert_allclose(
+            out, app.reference(), rtol=3e-2, atol=3e-2
+        )
+
+    def test_assemble_shape(self):
+        app = resample.build_pass(
+            "cuda", in_size=256, out_size=57, columns=32
+        )
+        full = resample.assemble(app.run(), 57)
+        assert full.shape == (57, 32)
+
+
+class TestRecursiveFilter:
+    @pytest.mark.parametrize("variant", ["cuda", "tensor"])
+    def test_matches_serial_reference(self, variant):
+        app = recursive_filter.build(variant, samples=4096)
+        app.verify(rtol=3e-2, atol=3e-2)
+
+    def test_tensor_variant_uses_tensor_unit(self):
+        app = recursive_filter.build("tensor", samples=4096)
+        _, counters = app.run_and_measure()
+        assert counters.tensor_macs > 0
+
+
+class TestDCTDenoise:
+    @pytest.mark.parametrize("variant", ["cuda", "tensor"])
+    def test_matches_numpy_transform(self, variant):
+        app = dct_denoise.build(variant, num_tiles=8)
+        app.verify()
+
+    def test_coring_matches_reference_threshold(self):
+        app = dct_denoise.build("cuda", num_tiles=4)
+        out, _ = app.run_and_measure()
+        ref = app.reference()
+        np.testing.assert_allclose(out, ref, rtol=5e-2, atol=5e-2)
+
+    def test_tensor_fused_epilogue(self):
+        app = dct_denoise.build("tensor", num_tiles=4)
+        _, counters = app.run_and_measure()
+        # four MatMuls on the tensor unit, coring on scalar lanes
+        assert counters.tensor_macs > 0
+        assert counters.scalar_flops > 0
+
+
+class TestAMXTable1Variants:
+    def test_standard_and_vnni_reference(self):
+        for layout in ("standard", "vnni"):
+            app = matmul.build_amx(layout=layout)
+            out = app.run()
+            np.testing.assert_allclose(
+                out, app.reference(), rtol=2e-2, atol=2e-2
+            )
+
+    def test_preload_b_vnni_maps_standard_does_not(self):
+        from repro.hardboiled import select_instructions
+        from repro.lowering import lower
+
+        app = matmul.build_amx(layout="vnni", preload_b=True)
+        _, report = select_instructions(lower(app.output))
+        assert report.all_mapped
+        app = matmul.build_amx(layout="standard", preload_b=True)
+        _, report = select_instructions(lower(app.output))
+        assert not report.all_mapped

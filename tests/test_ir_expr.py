@@ -1,0 +1,188 @@
+"""Tests for IR expression nodes, builders, printer, and analysis."""
+
+import pytest
+
+from repro.ir import (
+    Add,
+    Broadcast,
+    Cast,
+    FloatImm,
+    Float,
+    IntImm,
+    Int,
+    BFloat,
+    Load,
+    Mul,
+    Ramp,
+    Sub,
+    Variable,
+    VectorReduce,
+    Store,
+    cast,
+    const,
+    expr_size,
+    free_variables,
+    make_add,
+    make_broadcast,
+    make_div,
+    make_mod,
+    make_mul,
+    make_ramp,
+    make_sub,
+    print_expr,
+    print_stmt,
+    substitute,
+    vector_reduce_add,
+)
+
+
+def var(name="x", dtype=Int(32)):
+    return Variable(name, dtype)
+
+
+class TestNodeTypes:
+    def test_ramp_type_widen(self):
+        r = Ramp(IntImm(0), IntImm(1), 8)
+        assert r.type == Int(32, 8)
+
+    def test_nested_ramp_type(self):
+        inner = Ramp(IntImm(0), IntImm(1), 8)
+        outer = Ramp(inner, Broadcast(IntImm(32), 8), 16)
+        assert outer.type == Int(32, 128)
+
+    def test_broadcast_type(self):
+        b = Broadcast(Ramp(IntImm(0), IntImm(1), 4), 3)
+        assert b.type == Int(32, 12)
+
+    def test_vector_reduce_type(self):
+        v = Broadcast(FloatImm(1.0), 64)
+        vr = VectorReduce("add", v, 8)
+        assert vr.type == Float(32, 8)
+
+    def test_vector_reduce_divisibility(self):
+        v = Broadcast(FloatImm(1.0), 10)
+        with pytest.raises(ValueError):
+            VectorReduce("add", v, 3)
+
+    def test_load_lane_mismatch(self):
+        with pytest.raises(ValueError):
+            Load(Float(32, 8), "A", IntImm(0))
+
+    def test_store_lane_mismatch(self):
+        with pytest.raises(ValueError):
+            Store("A", Ramp(IntImm(0), IntImm(1), 4), FloatImm(0.0))
+
+    def test_structural_equality(self):
+        a = Add(IntImm(1), IntImm(2))
+        b = Add(IntImm(1), IntImm(2))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Sub(IntImm(1), IntImm(2))
+
+
+class TestBuilders:
+    def test_add_identity(self):
+        x = var()
+        assert make_add(x, IntImm(0)) is x
+        assert make_add(IntImm(0), x) is x
+
+    def test_mul_identity_and_zero(self):
+        x = var()
+        assert make_mul(x, IntImm(1)) is x
+        assert make_mul(x, IntImm(0)) == IntImm(0)
+
+    def test_constant_folding(self):
+        assert make_add(IntImm(2), IntImm(3)) == IntImm(5)
+        assert make_mul(FloatImm(2.0), FloatImm(4.0)) == FloatImm(8.0)
+
+    def test_div_floor_semantics(self):
+        assert make_div(IntImm(-7), IntImm(2)) == IntImm(-4)
+
+    def test_mod_euclidean(self):
+        assert make_mod(IntImm(-7), IntImm(2)) == IntImm(1)
+
+    def test_operator_sugar(self):
+        x = var()
+        e = x + 1
+        assert isinstance(e, Add)
+        e = 2 * x
+        assert isinstance(e, Mul)
+
+    def test_promotion_inserts_cast(self):
+        x = var("x", Int(32))
+        f = var("f", Float(32))
+        e = make_add(x, f)
+        assert e.type == Float(32)
+        assert isinstance(e.a, Cast)
+
+    def test_lane_broadcasting(self):
+        x = var("x", Float(32, 8))
+        e = make_add(x, FloatImm(1.0))
+        assert e.type == Float(32, 8)
+        assert isinstance(e.b, Broadcast)
+
+    def test_ramp_count_one_collapses(self):
+        x = var()
+        assert make_ramp(x, IntImm(1), 1) is x
+
+    def test_broadcast_count_one_collapses(self):
+        x = var()
+        assert make_broadcast(x, 1) is x
+
+    def test_vector_reduce_same_lanes_collapses(self):
+        v = Broadcast(FloatImm(1.0), 8)
+        assert vector_reduce_add(v, 8) is v
+
+    def test_cast_fold(self):
+        assert cast(Float(32), IntImm(3)) == FloatImm(3.0)
+        assert cast(Int(32), FloatImm(3.7)) == IntImm(3)
+
+    def test_cast_broadcast_scalar_to_vector(self):
+        e = cast(Float(32, 4), FloatImm(1.0))
+        assert isinstance(e, Broadcast)
+
+    def test_const_vector(self):
+        e = const(0.0, Float(32, 512))
+        assert isinstance(e, Broadcast)
+        assert e.type == Float(32, 512)
+
+
+class TestPrinter:
+    def test_broadcast_terse(self):
+        assert print_expr(Broadcast(IntImm(1), 32)) == "x32(1)"
+
+    def test_ramp(self):
+        assert print_expr(Ramp(IntImm(0), IntImm(1), 8)) == "ramp(0, 1, 8)"
+
+    def test_nested_like_paper_fig2(self):
+        # A[ramp(ramp(0, 8, 4), x4(1), 8)] — the 4x8 transpose of Fig. 2
+        idx = Ramp(Ramp(IntImm(0), IntImm(8), 4), Broadcast(IntImm(1), 4), 8)
+        load = Load(Float(32, 32), "A", idx)
+        assert print_expr(load) == "A[ramp(ramp(0, 8, 4), x4(1), 8)]"
+
+    def test_store(self):
+        s = Store("out", Ramp(IntImm(0), IntImm(1), 4), Broadcast(FloatImm(0.0), 4))
+        assert print_stmt(s) == "out[ramp(0, 1, 4)] = x4(0.0f)"
+
+    def test_cast(self):
+        e = Cast(Float(32), var())
+        assert print_expr(e) == "cast<float32>(x)"
+
+
+class TestAnalysis:
+    def test_expr_size(self):
+        e = make_add(var("a"), make_mul(var("b"), var("c")))
+        assert expr_size(e) == 5
+
+    def test_free_variables(self):
+        e = make_add(var("a"), make_mul(var("b"), IntImm(2)))
+        assert free_variables(e) == {"a", "b"}
+
+    def test_substitute(self):
+        e = make_add(var("a"), var("b"))
+        e2 = substitute(e, {"a": IntImm(1)})
+        assert free_variables(e2) == {"b"}
+
+    def test_substitute_is_noop_without_matches(self):
+        e = make_add(var("a"), var("b"))
+        assert substitute(e, {"z": IntImm(1)}) is e

@@ -1,0 +1,116 @@
+"""Tests for repro.ir.types."""
+
+import numpy as np
+import pytest
+
+from repro.ir.types import (
+    BFloat,
+    Bool,
+    DataType,
+    Float,
+    Int,
+    TypeCode,
+    UInt,
+    promote,
+)
+
+
+class TestConstruction:
+    def test_scalar_flags(self):
+        t = Int(32)
+        assert t.is_scalar()
+        assert not t.is_vector()
+        assert t.is_int()
+
+    def test_vector_flags(self):
+        t = Float(32, 8)
+        assert t.is_vector()
+        assert t.lanes == 8
+        assert t.is_float()
+
+    def test_bfloat_is_float(self):
+        assert BFloat(16).is_float()
+        assert BFloat(16).is_bfloat()
+        assert not Float(16).is_bfloat()
+
+    def test_bool(self):
+        assert Bool().is_bool()
+        assert Bool().bits == 1
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            DataType(TypeCode.INT, 0, 1)
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            DataType(TypeCode.INT, 32, 0)
+
+
+class TestDerived:
+    def test_element_of(self):
+        assert Float(32, 16).element_of() == Float(32)
+
+    def test_with_lanes(self):
+        assert Int(32).with_lanes(4) == Int(32, 4)
+
+    def test_widen_lanes(self):
+        assert Float(16, 2).widen_lanes(8) == Float(16, 16)
+
+    def test_bytes(self):
+        assert Float(32, 4).bytes() == 16
+        assert BFloat(16, 8).bytes() == 16
+        assert Bool(8).bytes() == 8  # 1 byte per bool lane
+
+
+class TestNumpy:
+    def test_float32(self):
+        assert Float(32).to_numpy() == np.dtype(np.float32)
+
+    def test_float16(self):
+        assert Float(16).to_numpy() == np.dtype(np.float16)
+
+    def test_bfloat_stored_as_float32(self):
+        assert BFloat(16).to_numpy() == np.dtype(np.float32)
+
+    def test_ints(self):
+        assert Int(8).to_numpy() == np.dtype(np.int8)
+        assert UInt(16).to_numpy() == np.dtype(np.uint16)
+
+    def test_bool(self):
+        assert Bool().to_numpy() == np.dtype(np.bool_)
+
+
+class TestNames:
+    def test_scalar_names(self):
+        assert str(Float(32)) == "float32"
+        assert str(BFloat(16)) == "bfloat16"
+        assert str(Bool()) == "bool"
+
+    def test_vector_names(self):
+        assert str(Float(32, 8192)) == "float32x8192"
+
+
+class TestPromotion:
+    def test_same(self):
+        assert promote(Int(32), Int(32)) == Int(32)
+
+    def test_float_beats_int(self):
+        assert promote(Int(32), Float(32)) == Float(32)
+        assert promote(Float(16), Int(64)) == Float(16)
+
+    def test_wider_wins(self):
+        assert promote(Int(16), Int(32)) == Int(32)
+        assert promote(Float(64), Float(32)) == Float(64)
+
+    def test_float_beats_bfloat_at_same_width(self):
+        assert promote(Float(16), BFloat(16)) == Float(16)
+
+    def test_int_beats_uint(self):
+        assert promote(Int(32), UInt(32)) == Int(32)
+
+    def test_scalar_broadcasts_to_vector(self):
+        assert promote(Int(32), Int(32, 8)) == Int(32, 8)
+
+    def test_vector_lane_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            promote(Int(32, 4), Int(32, 8))

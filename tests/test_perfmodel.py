@@ -1,0 +1,79 @@
+"""Tests for the roofline performance model."""
+
+import pytest
+
+from repro.perfmodel import Efficiency, PerfModel, format_table, speedup
+from repro.perfmodel.roofline import DEVICE_EFFICIENCY
+from repro.runtime import Counters
+from repro.targets.device import A100, RTX4070S
+
+
+def make_counters(tensor_macs=0, scalar_flops=0, dram=0, l1=0):
+    c = Counters(tensor_macs=tensor_macs, scalar_flops=scalar_flops)
+    if dram:
+        c.add_load("dram_unique", dram)
+    if l1:
+        c.add_load("l1", l1)
+    return c
+
+
+class TestRoofline:
+    def test_compute_bound_classification(self):
+        model = PerfModel(RTX4070S)
+        t = model.estimate(make_counters(tensor_macs=10**12, dram=1000))
+        assert t.bound == "C"
+        assert t.tensor_s > t.dram_s
+
+    def test_memory_bound_classification(self):
+        model = PerfModel(RTX4070S)
+        t = model.estimate(make_counters(tensor_macs=10**6, dram=10**9))
+        assert t.bound == "M"
+
+    def test_total_is_max_plus_launch(self):
+        model = PerfModel(RTX4070S, Efficiency(1, 1, 1, 1, 1))
+        t = model.estimate(make_counters(dram=504.2e9), kernels=2)
+        assert t.total_s == pytest.approx(
+            1.0 + 2 * RTX4070S.launch_overhead_s
+        )
+
+    def test_tensor_unit_rate(self):
+        model = PerfModel(A100, Efficiency(1, 1, 1, 1, 1))
+        t = model.estimate(make_counters(tensor_macs=int(156e12)))
+        assert t.tensor_s == pytest.approx(1.0)
+
+    def test_flops_pair_into_fmas(self):
+        model = PerfModel(A100, Efficiency(1, 1, 1, 1, 1))
+        t = model.estimate(make_counters(scalar_flops=int(2 * 9.75e12)))
+        assert t.cuda_s == pytest.approx(1.0)
+
+    def test_device_calibration_registered(self):
+        assert PerfModel(A100).efficiency is DEVICE_EFFICIENCY["A100-SXM-80GB"]
+        assert PerfModel(RTX4070S).efficiency.tensor == 0.65
+
+    def test_theoretical_peak_ignores_efficiency(self):
+        model = PerfModel(RTX4070S)
+        peak = model.theoretical_peak(36e12, 0)
+        assert peak.tensor_s == pytest.approx(1.0)
+
+    def test_int_ops_charged_to_cuda_engine(self):
+        model = PerfModel(RTX4070S, Efficiency(1, 1, 1, 1, 1))
+        c = Counters(int_ops=int(4 * 17.7e12))
+        t = model.estimate(c)
+        assert t.cuda_s == pytest.approx(1.0)
+
+    def test_l1_reuse_discount(self):
+        eff = Efficiency(1, 1, 1, 1, l1_reuse=0.5)
+        model = PerfModel(RTX4070S, eff)
+        t = model.estimate(make_counters(l1=int(2 * 17.8e12)))
+        assert t.l1_s == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0

@@ -1,0 +1,140 @@
+"""Cross-cutting property tests on the compiler's semantic invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eqsat import EGraph, extract_best, run_phased
+from repro.hardboiled import (
+    axiomatic_rules,
+    decode_expr,
+    encode_expr,
+    hardboiled_cost_model,
+    supporting_rules,
+)
+from repro.hardboiled.encode import Encoder
+from repro.ir import (
+    Add,
+    Broadcast,
+    Cast,
+    Float,
+    IntImm,
+    Load,
+    Mul,
+    Ramp,
+    Variable,
+    print_expr,
+)
+from repro.lowering.simplify import simplify_expr
+from repro.runtime import Buffer, Interpreter
+
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def index_vectors(draw, max_lanes=64):
+    """Random nested Ramp/Broadcast/arith integer index expressions."""
+
+    def go(depth, lanes_budget):
+        choices = ["imm", "ramp", "broadcast"]
+        if depth > 0:
+            choices += ["add", "mul_const"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "imm" or depth > 3:
+            return IntImm(draw(st.integers(0, 7)))
+        if kind == "ramp":
+            base = go(depth + 1, lanes_budget // 2)
+            count = draw(st.sampled_from([2, 4]))
+            if base.type.lanes * count > lanes_budget:
+                return IntImm(draw(st.integers(0, 7)))
+            stride_value = draw(st.integers(0, 3))
+            from repro.ir.builders import const
+
+            return Ramp(base, const(stride_value, base.type), count)
+        if kind == "broadcast":
+            value = go(depth + 1, lanes_budget // 2)
+            count = draw(st.sampled_from([2, 4]))
+            if value.type.lanes * count > lanes_budget:
+                return IntImm(draw(st.integers(0, 7)))
+            return Broadcast(value, count)
+        if kind == "add":
+            a = go(depth + 1, lanes_budget)
+            b = go(depth + 1, lanes_budget)
+            if a.type.lanes != b.type.lanes:
+                if a.type.lanes == 1:
+                    a = Broadcast(a, b.type.lanes)
+                elif b.type.lanes == 1:
+                    b = Broadcast(b, a.type.lanes)
+                else:
+                    return a
+            return Add(a, b)
+        # mul by constant
+        a = go(depth + 1, lanes_budget)
+        from repro.ir.builders import const
+
+        return Mul(a, const(draw(st.integers(1, 3)), a.type))
+
+    return go(0, max_lanes)
+
+
+def evaluate(expr):
+    return np.atleast_1d(
+        np.asarray(Interpreter({}).eval_expr(expr, {}))
+    )
+
+
+class TestSimplifierSoundness:
+    @settings(max_examples=80, deadline=None)
+    @given(index_vectors())
+    def test_simplify_preserves_semantics(self, expr):
+        before = evaluate(expr)
+        after = evaluate(simplify_expr(expr))
+        np.testing.assert_array_equal(before, after)
+
+
+class TestAxiomSoundness:
+    """EqSat axioms + extraction must preserve evaluation semantics."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(index_vectors(max_lanes=32))
+    def test_axioms_preserve_semantics(self, expr):
+        egraph = EGraph()
+        root = Encoder(egraph).expr(expr)
+        ax, _ = axiomatic_rules()
+        sup, _ = supporting_rules()
+        run_phased(egraph, list(ax), list(sup), iterations=4)
+        best = extract_best(egraph, root, hardboiled_cost_model())
+        decoded = decode_expr(best)
+        np.testing.assert_array_equal(evaluate(expr), evaluate(decoded))
+
+    @settings(max_examples=40, deadline=None)
+    @given(index_vectors(max_lanes=32))
+    def test_encode_decode_roundtrip(self, expr):
+        assert decode_expr(encode_expr(expr)) == expr
+
+
+class TestLoadSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(index_vectors(max_lanes=32), st.integers(0, 99))
+    def test_axioms_preserve_load_semantics(self, idx, seed):
+        """Broadcast-push-into-load etc. must not change gathered data."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(512).astype(np.float32)
+        buf = Buffer.from_numpy("A", data)
+        lanes = idx.type.lanes
+        load = Load(Float(32, lanes), "A", idx)
+        wrapped = Broadcast(load, 2)
+
+        egraph = EGraph()
+        root = Encoder(egraph).expr(wrapped)
+        ax, _ = axiomatic_rules()
+        sup, _ = supporting_rules()
+        run_phased(egraph, list(ax), list(sup), iterations=4)
+        best = decode_expr(
+            extract_best(egraph, root, hardboiled_cost_model())
+        )
+        a = Interpreter({"A": buf}).eval_vector(wrapped, {})
+        b = Interpreter({"A": buf}).eval_vector(best, {})
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,7 @@
+"""Paper-reproduction benchmarks (see benchmarks/README.md).
+
+This package marker lets pytest import the ``bench_*`` modules with
+their relative ``from .harness import ...`` imports intact:
+
+    PYTHONPATH=src python -m pytest benchmarks/ -q
+"""

@@ -1,0 +1,49 @@
+"""Interpreter vs. compiled-NumPy backend: end-to-end host wall-clock.
+
+Unlike the figure benchmarks (whose device times are roofline-model
+estimates), this one is *directly measured*: it times the same pipeline
+executed through the instrumented interpreter and through the compiled
+NumPy kernels (``backend="compile"``), on this machine.  The compiled
+backend must be at least 5x faster end to end on at least three
+workloads — that is the whole point of shipping it.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_backend_speedup.py -q -s
+"""
+
+import pytest
+
+from repro.apps import attention, conv1d, conv2d, dct_denoise, downsample
+from repro.perfmodel import format_table
+
+from .harness import backend_report, print_header
+
+
+def workloads():
+    return [
+        ("conv1d (cuda)", conv1d.build("cuda", taps=16, rows=2)),
+        ("conv2d (cuda)", conv2d.build("cuda", taps=16, width=512, rows=8)),
+        (
+            "downsample (cuda)",
+            downsample.build("cuda", taps=16, width=512, rows=8),
+        ),
+        ("attention (cuda)", attention.build("cuda", length=128)),
+        ("attention (tensor)", attention.build("tensor", length=128)),
+        ("dct_denoise (tensor)", dct_denoise.build("tensor", num_tiles=16)),
+    ]
+
+
+@pytest.mark.benchmark(group="backends")
+def test_backend_speedup(benchmark):
+    rows, speedups = backend_report(workloads())
+    print_header("Execution backends — host wall-clock per run")
+    print(
+        format_table(
+            ["workload", "interpreter", "compiled", "speedup"], rows
+        )
+    )
+    fast = [name for name, s in speedups.items() if s >= 5.0]
+    print(f">=5x on {len(fast)}/{len(speedups)} workloads: {sorted(fast)}")
+    # every workload must win, and the win must be large on most
+    assert all(s > 1.0 for s in speedups.values()), speedups
+    assert len(fast) >= 3, speedups
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

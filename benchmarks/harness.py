@@ -6,9 +6,20 @@ executes them on the simulators to collect op/byte counters, and feeds
 the counters into the roofline device model to produce paper-style
 tables.  Absolute times are model estimates; the qualitative shape
 (winner, bound type, crossovers) is asserted.
+
+Two kinds of numbers appear in the reports:
+
+* *modeled* times (:func:`measure`) come from counters collected on the
+  instrumented interpreter backend and the roofline device model;
+* *host wall-clock* times (:func:`wallclock`, :func:`backend_speedup`)
+  time the simulation itself on this machine, and exist to compare the
+  interpreter backend against the compiled NumPy backend
+  (``backend="compile"``) end to end.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.perfmodel import PerfModel, TimeBreakdown, format_table
 from repro.targets.device import A100, RTX4070S
@@ -19,6 +30,51 @@ def measure(app, device) -> TimeBreakdown:
     out, counters = app.run_and_measure()
     model = PerfModel(device)
     return model.estimate(counters, kernels=app.kernels)
+
+
+def wallclock(app, backend: str, repeats: int = 3) -> float:
+    """Best-of-``repeats`` host seconds for one run on ``backend``.
+
+    A warm-up run is taken first so one-time costs (kernel compilation
+    on the compiled backend) are not billed to the steady state — the
+    kernel cache makes every later run a cache hit.
+    """
+    app.run(backend=backend)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        app.run(backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def backend_speedup(app, repeats: int = 3):
+    """(interpreter_s, compiled_s, speedup) host wall-clock for an app."""
+    interp_s = wallclock(app, "interpret", repeats)
+    compiled_s = wallclock(app, "compile", repeats)
+    return interp_s, compiled_s, interp_s / compiled_s
+
+
+def backend_report(apps, repeats: int = 3):
+    """Wall-clock rows ``[name, interp, compiled, speedup]`` for apps.
+
+    ``apps`` is an iterable of (label, app) pairs; returns (rows,
+    speedups-by-label) ready for :func:`repro.perfmodel.format_table`.
+    """
+    rows = []
+    speedups = {}
+    for label, app in apps:
+        interp_s, compiled_s, ratio = backend_speedup(app, repeats)
+        speedups[label] = ratio
+        rows.append(
+            [
+                label,
+                f"{interp_s * 1e3:.1f} ms",
+                f"{compiled_s * 1e3:.2f} ms",
+                f"{ratio:.1f}x",
+            ]
+        )
+    return rows, speedups
 
 
 def both_variants(module, device, **params):

@@ -1,7 +1,16 @@
 """Quickstart: the paper's §III MatMul, from algorithm to AMX tiles.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
+      PYTHONPATH=src python examples/quickstart.py --backend compile
+
+The pipeline is executed through the selected runtime backend:
+``interpret`` is the instrumented tree-walking interpreter (collects the
+op/byte counters the roofline model consumes), ``compile`` is the
+compiled NumPy backend (fast, uncounted), and ``both`` runs the two and
+checks they agree.
 """
+
+import argparse
 
 import numpy as np
 
@@ -14,7 +23,7 @@ from repro.runtime.executor import CompiledPipeline
 from repro.targets.bfloat16 import round_to_bfloat16
 
 
-def main():
+def main(backend: str = "both"):
     # --- the algorithm: a bf16 MatMul, written naturally -----------------
     A = hl.ImageParam(hl.BFloat(16), 2, name="A")
     B = hl.ImageParam(hl.BFloat(16), 2, name="B")
@@ -44,16 +53,35 @@ def main():
     rng = np.random.default_rng(0)
     a = round_to_bfloat16(rng.standard_normal((16, 32)).astype(np.float32))
     b = round_to_bfloat16(rng.standard_normal((32, 16)).astype(np.float32))
-    counters = Counters()
-    result = CompiledPipeline(tensorized).run({A: a, B: b}, counters=counters)
+    inputs = {A: a, B: b}
     reference = a.astype(np.float32) @ b.astype(np.float32)
-    print("\nmax |error| vs numpy:", np.abs(result - reference).max())
-    print(
-        f"tensor-unit MACs: {counters.tensor_macs}"
-        f" (= 16*16*32 = {16 * 16 * 32}); scalar FLOPs:"
-        f" {counters.scalar_flops}"
-    )
+    pipeline = CompiledPipeline(tensorized)
+
+    if backend in ("interpret", "both"):
+        counters = Counters()
+        result = pipeline.run(inputs, counters=counters)
+        print("\n[interpret] max |error| vs numpy:",
+              np.abs(result - reference).max())
+        print(
+            f"[interpret] tensor-unit MACs: {counters.tensor_macs}"
+            f" (= 16*16*32 = {16 * 16 * 32}); scalar FLOPs:"
+            f" {counters.scalar_flops}"
+        )
+    if backend in ("compile", "both"):
+        compiled = pipeline.run(inputs, backend="compile")
+        print("\n[compile]   max |error| vs numpy:",
+              np.abs(compiled - reference).max())
+    if backend == "both":
+        assert np.array_equal(result, compiled), "backends disagree"
+        print("[both]      backends agree bit-for-bit")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=("interpret", "compile", "both"),
+        default="both",
+        help="runtime execution backend (default: run and compare both)",
+    )
+    main(parser.parse_args().backend)

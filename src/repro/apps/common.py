@@ -37,6 +37,9 @@ class App:
     #: GPU kernel launches per full-size run (for launch overhead)
     kernels: int = 1
     description: str = ""
+    #: default execution backend: "interpret" (instrumented) or
+    #: "compile" (fast NumPy kernels); see repro.runtime.executor
+    backend: str = "interpret"
     _pipeline: Optional[CompiledPipeline] = None
     _report: Optional[SelectionReport] = None
 
@@ -47,7 +50,7 @@ class App:
                 lowered, self._report = select_instructions(
                     lowered, strict=True
                 )
-            self._pipeline = CompiledPipeline(lowered)
+            self._pipeline = CompiledPipeline(lowered, backend=self.backend)
         return self._pipeline
 
     @property
@@ -55,8 +58,15 @@ class App:
         self.compile()
         return self._report
 
-    def run(self, counters: Optional[Counters] = None) -> np.ndarray:
-        return self.compile().run(self.inputs, counters=counters)
+    def run(
+        self,
+        counters: Optional[Counters] = None,
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Run once.  Counters force the interpreter backend."""
+        return self.compile().run(
+            self.inputs, counters=counters, backend=backend
+        )
 
     def run_and_measure(self):
         """Run once; returns (output, counters scaled to full size)."""
@@ -64,8 +74,13 @@ class App:
         out = self.run(counters)
         return out, counters.scaled(self.scale_factor)
 
-    def verify(self, rtol: float = 2e-2, atol: float = 2e-2) -> np.ndarray:
-        out = self.run()
+    def verify(
+        self,
+        rtol: float = 2e-2,
+        atol: float = 2e-2,
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        out = self.run(backend=backend)
         ref = self.reference()
         np.testing.assert_allclose(out, ref, rtol=rtol, atol=atol)
         return out

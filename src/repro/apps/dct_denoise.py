@@ -149,9 +149,14 @@ class DCTDenoiseApp:
         # transposed for the second operand: numpy (k, u) = d.T
         return {Xt: self.tiles, Dm: d, Dt: np.ascontiguousarray(d.T)}
 
+    def run(self, counters=None, backend=None) -> np.ndarray:
+        return self.pipeline.run(
+            self._inputs(), counters=counters, backend=backend
+        )
+
     def run_and_measure(self):
         counters = Counters()
-        out = self.pipeline.run(self._inputs(), counters=counters)
+        out = self.run(counters)
         return out, counters.scaled(self.scale_factor)
 
     def reference(self) -> np.ndarray:

@@ -115,9 +115,21 @@ class RecursiveFilterApp:
 
     # -- driver ------------------------------------------------------------
 
+    def run(self, counters=None, backend=None) -> np.ndarray:
+        """Run all three stages; stage 1 honours the backend switch."""
+        u = self.fir_pipeline.run(
+            self._fir_inputs(), counters=counters, backend=backend
+        )
+        return self._recurrence_and_fixup(u, counters)
+
     def run_and_measure(self):
         counters = Counters()
-        u = self.fir_pipeline.run(self._fir_inputs(), counters=counters)
+        out = self.run(counters)
+        return out, counters.scaled(self.scale_factor)
+
+    def _recurrence_and_fixup(self, u, counters=None) -> np.ndarray:
+        if counters is None:
+            counters = Counters()
         rows = self.num_tiles * CHANNELS
         # stage 2: dilated recurrence per tile (zero initial state);
         # serial dependency chains of length TILE_SIZE/d, d-wide parallel
@@ -141,9 +153,7 @@ class RecursiveFilterApp:
         counters.scalar_flops += CHANNELS * (self.num_tiles - 1) * TILE_SIZE * 4
         counters.add_load("dram_unique", self.samples * CHANNELS * 4)
         counters.add_store("dram_unique", self.samples * CHANNELS * 4)
-        return out.reshape(CHANNELS, self.samples), counters.scaled(
-            self.scale_factor
-        )
+        return out.reshape(CHANNELS, self.samples)
 
     def reference(self) -> np.ndarray:
         return np.stack(

@@ -4,6 +4,27 @@ Follows Willsey et al. (POPL'21): ``union`` only merges the union-find and
 defers congruence repair to ``rebuild``, which processes a worklist of
 touched classes.  Relations (egglog-style Datalog facts over e-classes)
 live alongside the term structure and are re-canonicalized on rebuild.
+
+A minimal saturate-and-extract session — insert a term, rewrite
+``1 + 1`` to ``2`` until nothing changes, and extract the cheapest
+equivalent form:
+
+>>> from repro.eqsat import (
+...     EGraph, I, T, extract_best, parse_one, parse_pattern, rewrite,
+...     saturate,
+... )
+>>> eg = EGraph()
+>>> root = eg.add_term(T("Mul", T("Add", I(1), I(1)), I(3)))
+>>> fold = rewrite(
+...     "fold-1+1",
+...     parse_pattern(parse_one("(Add 1 1)")),
+...     parse_pattern(parse_one("2")),
+... )
+>>> stats = saturate(eg, [fold])
+>>> eg.lookup_term(T("Mul", I(2), I(3))) == eg.find(root)
+True
+>>> print(extract_best(eg, root))
+(Mul 2 3)
 """
 
 from __future__ import annotations
@@ -12,6 +33,22 @@ from collections import defaultdict
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .language import ENode, Head, Term
+
+#: Literal payloads are interned by equality, but NaN compares unequal to
+#: everything including itself — a fresh NaN payload would never hit the
+#: hashcons and equal literals would land in distinct classes.  All NaN
+#: payloads are therefore replaced by this single object; tuple equality
+#: short-circuits on identity, so lookups and inserts agree.
+_CANONICAL_NAN = float("nan")
+
+
+def _canon_head(head: Head) -> Head:
+    """Canonicalize a node head's literal payload (NaN normalization)."""
+    if isinstance(head, tuple):
+        value = head[1]
+        if isinstance(value, float) and value != value:
+            return (head[0], _CANONICAL_NAN)
+    return head
 
 
 class EClass:
@@ -60,7 +97,7 @@ class EGraph:
     # -- insertion -----------------------------------------------------------
 
     def add_node(self, node: ENode) -> int:
-        node = node.canonicalize(self.find)
+        node = ENode(_canon_head(node.head), node.args).canonicalize(self.find)
         existing = self.hashcons.get(node)
         if existing is not None:
             return self.find(existing)
@@ -77,7 +114,15 @@ class EGraph:
         return self.add_node(ENode(term.head, args))
 
     def lookup_term(self, term: Term) -> Optional[int]:
-        """The e-class of a term if it is present, else None."""
+        """The e-class of a term if it is present, else None.
+
+        Literal terms are a base case: their payload lives in the head
+        (canonicalized, see :func:`_canon_head`), not in child e-classes,
+        so the recursion stops instead of descending into the payload.
+        """
+        if term.is_literal():
+            found = self.hashcons.get(ENode(_canon_head(term.head), ()))
+            return self.find(found) if found is not None else None
         args = []
         for a in term.args:
             child = self.lookup_term(a)

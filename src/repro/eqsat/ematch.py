@@ -4,6 +4,21 @@ The matcher works against a snapshot index of the e-graph (nodes grouped
 by head).  Bindings map variable names to e-class ids.  Primitive
 arithmetic (``*``, ``%``, ...) is evaluated over literal payloads, both in
 guards and when instantiating action patterns.
+
+Match a pattern against a small e-graph and fold a primitive over the
+bound literals:
+
+>>> from repro.eqsat import EGraph, I, Matcher, T, parse_one, parse_pattern
+>>> from repro.eqsat.ematch import eval_value
+>>> eg = EGraph()
+>>> root = eg.add_term(T("Add", I(2), I(3)))
+>>> pat = parse_pattern(parse_one("(Add ?a ?b)"))
+>>> matcher = Matcher(eg)
+>>> ((where, bindings),) = matcher.match_anywhere(pat, {})
+>>> where == root
+True
+>>> eval_value(eg, parse_pattern(parse_one("(* ?a ?b)")), bindings)
+6
 """
 
 from __future__ import annotations

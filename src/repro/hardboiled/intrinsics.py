@@ -55,6 +55,36 @@ def toeplitz_from_kernel(
     return out
 
 
+def multiphase_matrix(
+    kernel: np.ndarray, rows: int, cols: int, factor: int
+) -> np.ndarray:
+    """The upsampling coefficient matrix A_up of §V-B (see
+    ``MultiphaseShuffle`` below for the index derivation)."""
+    taps = kernel.shape[0]
+    out = np.zeros((rows, cols), dtype=np.float32)
+    for c in range(rows):
+        for j in range(cols):
+            t = factor * (c - j // factor) + (j % factor)
+            if 0 <= t < taps:
+                out[c, j] = np.float32(kernel[t])
+    return out
+
+
+def tile_expand(tile: np.ndarray, valid: int, cols: int) -> np.ndarray:
+    """Pad each row of a (rows, valid) tile with zeros up to ``cols``."""
+    rows = tile.size // valid
+    out = np.zeros((rows, cols), dtype=np.float32)
+    out[:, :valid] = np.asarray(tile, np.float32).reshape(rows, valid)
+    return out
+
+
+def tile_compact(tile: np.ndarray, cols: int, valid: int) -> np.ndarray:
+    """Drop the padding columns of a (rows, cols) tile down to ``valid``."""
+    rows = tile.size // cols
+    matrix = np.asarray(tile, np.float32).reshape(rows, cols)
+    return matrix[:, :valid]
+
+
 @register_intrinsic("KWayInterleave")
 def _kway_interleave(interp: Interpreter, call: E.Call, env):
     """``KWayInterleave(k, rows, cols, tile)``."""
@@ -116,10 +146,7 @@ def _tile_expand(interp: Interpreter, call: E.Call, env):
     tile = interp.eval_vector(call.args[0], env)
     valid = interp.eval_int(call.args[1], env)
     cols = interp.eval_int(call.args[2], env)
-    rows = tile.size // valid
-    out = np.zeros((rows, cols), dtype=np.float32)
-    out[:, :valid] = np.asarray(tile, np.float32).reshape(rows, valid)
-    return out.ravel()
+    return tile_expand(tile, valid, cols).ravel()
 
 
 @register_intrinsic("TileCompact")
@@ -128,9 +155,7 @@ def _tile_compact(interp: Interpreter, call: E.Call, env):
     tile = interp.eval_vector(call.args[0], env)
     cols = interp.eval_int(call.args[1], env)
     valid = interp.eval_int(call.args[2], env)
-    rows = tile.size // cols
-    matrix = np.asarray(tile, np.float32).reshape(rows, cols)
-    return matrix[:, :valid].ravel()
+    return tile_compact(tile, cols, valid).ravel()
 
 
 @register_intrinsic("MultiphaseShuffle")
@@ -159,10 +184,4 @@ def _multiphase_shuffle(interp: Interpreter, call: E.Call, env):
     interp.counters.add_load(
         memory_level(buf), idx.size * buf.dtype.bytes_per_lane()
     )
-    out = np.zeros((rows, cols), dtype=np.float32)
-    for c in range(rows):
-        for j in range(cols):
-            t = factor * (c - j // factor) + (j % factor)
-            if 0 <= t < taps:
-                out[c, j] = np.float32(kernel[t])
-    return out.ravel()
+    return multiphase_matrix(kernel, rows, cols, factor).ravel()

@@ -47,6 +47,7 @@ from .stmt import (
     IfThenElse,
     LetStmt,
     ProducerConsumer,
+    Provide,
     Stmt,
     Store,
 )
@@ -126,6 +127,9 @@ def print_stmt(s: Stmt, indent: int = 0) -> str:
     pad = "  " * indent
     if isinstance(s, Store):
         return f"{pad}{s.name}[{print_expr(s.index)}] = {print_expr(s.value)}"
+    if isinstance(s, Provide):
+        args = ", ".join(print_expr(a) for a in s.args)
+        return f"{pad}{s.name}({args}) = {print_expr(s.value)}"
     if isinstance(s, Evaluate):
         return f"{pad}{print_expr(s.value)}"
     if isinstance(s, For):

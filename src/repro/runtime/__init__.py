@@ -1,14 +1,23 @@
-"""Execution runtime: buffers, the instrumented interpreter, counters."""
+"""Execution runtime: buffers, the two backends, counters.
+
+Two execution backends share one lowered-IR contract: the instrumented
+tree-walking :class:`Interpreter` and the compiled NumPy backend in
+:mod:`.codegen` (memoized by :class:`.kernel_cache.KernelCache`).
+"""
 
 from .buffer import Buffer
 from .counters import Counters
 from .interpreter import INTRINSICS, Interpreter, memory_level, register_intrinsic
+from .kernel_cache import DEFAULT_CACHE, KernelCache, fingerprint_stmt
 
 __all__ = [
     "Buffer",
     "Counters",
+    "DEFAULT_CACHE",
     "INTRINSICS",
     "Interpreter",
+    "KernelCache",
+    "fingerprint_stmt",
     "memory_level",
     "register_intrinsic",
 ]

@@ -64,9 +64,23 @@ class Buffer:
             self.data = flat.copy()
             if dtype.code is TypeCode.BFLOAT:
                 self.data = round_to_bfloat16(self.data)
-        #: per-element touched masks for footprint accounting
-        self.load_mask = np.zeros(self.size, dtype=bool)
-        self.store_mask = np.zeros(self.size, dtype=bool)
+        # per-element touched masks for footprint accounting; allocated
+        # lazily so the compiled backend (which reads/writes .data
+        # directly and never gathers) pays nothing for instrumentation
+        self._load_mask: Optional[np.ndarray] = None
+        self._store_mask: Optional[np.ndarray] = None
+
+    @property
+    def load_mask(self) -> np.ndarray:
+        if self._load_mask is None:
+            self._load_mask = np.zeros(self.size, dtype=bool)
+        return self._load_mask
+
+    @property
+    def store_mask(self) -> np.ndarray:
+        if self._store_mask is None:
+            self._store_mask = np.zeros(self.size, dtype=bool)
+        return self._store_mask
 
     # -- strides (dense, innermost first) -----------------------------------
 
@@ -137,14 +151,18 @@ class Buffer:
     # -- accounting ----------------------------------------------------------
 
     def load_footprint_bytes(self) -> int:
-        return int(self.load_mask.sum()) * self.dtype.bytes_per_lane()
+        if self._load_mask is None:
+            return 0
+        return int(self._load_mask.sum()) * self.dtype.bytes_per_lane()
 
     def store_footprint_bytes(self) -> int:
-        return int(self.store_mask.sum()) * self.dtype.bytes_per_lane()
+        if self._store_mask is None:
+            return 0
+        return int(self._store_mask.sum()) * self.dtype.bytes_per_lane()
 
     def reset_masks(self) -> None:
-        self.load_mask[:] = False
-        self.store_mask[:] = False
+        self._load_mask = None
+        self._store_mask = None
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,789 @@
+"""The compiled NumPy backend: lowered IR -> Python source -> kernel.
+
+The tree-walking :class:`~repro.runtime.interpreter.Interpreter` is the
+project's *instrumented* path — it counts every FLOP and byte for the
+roofline model, at the price of a dict lookup, an env copy, and a
+bounds check per IR node visit.  This module is the *fast* path: it
+walks the lowered statement once at compile time and emits plain Python
+source in which
+
+* serial/parallel/unrolled loops become native ``for`` loops,
+* vector expressions become vectorized NumPy — a stride-1 ramp load
+  turns into a slice ``data[base:base+n]``, a broadcast into
+  ``np.full``, a constant-stride ramp into a precomputed ``np.arange``
+  offset table,
+* tensor intrinsics (``tile_matmul``, ``wmma.mma.sync``, the shuffle
+  constructors, ...) dispatch to the same functional cores the target
+  simulators use (:func:`repro.targets.amx.tdpbf16ps`,
+  :func:`repro.targets.wmma.mma_sync`, ...), and
+* anything the emitter does not recognize falls back to the
+  interpreter's handler for that node, so the compiled backend is
+  never *less* capable, only faster.
+
+Each emitted operation mirrors the interpreter's NumPy semantics
+operation-for-operation (same dtypes, same rounding, same cast rules),
+so the two backends produce identical outputs; the parity test suite
+asserts this for every application.  What the compiled path deliberately
+drops is instrumentation: no counters, no footprint masks, no bounds
+checks.  Runs that request :class:`~repro.runtime.counters.Counters`
+are routed to the interpreter by the executor.
+
+Kernels are memoized in :mod:`.kernel_cache`, keyed on a structural
+fingerprint of the lowered statement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..ir import expr as E
+from ..ir import stmt as S
+from ..ir.expr import EXPR_CHILDREN
+from ..ir.stmt import ForKind
+from ..ir.types import TypeCode
+from ..ir.analysis import free_variables
+from ..hardboiled.intrinsics import (
+    kway_interleave,
+    multiphase_matrix,
+    tile_compact,
+    tile_expand,
+    toeplitz_from_kernel,
+)
+from ..targets.amx import tdpbf16ps
+from ..targets.bfloat16 import round_to_bfloat16
+from ..targets.wmma import check_shape as wmma_check_shape
+from ..targets.wmma import mma_sync
+from .buffer import Buffer
+from .interpreter import (
+    as_vector,
+    broadcast_value,
+    ramp_value,
+    reduce_groups,
+    tile_index,
+)
+
+
+class CodegenError(RuntimeError):
+    """Raised when a statement cannot be compiled (emitter falls back)."""
+
+
+# -- runtime helpers injected into every kernel's globals ----------------------
+#
+# The vector-semantics cores (ramp_value, broadcast_value, as_vector,
+# reduce_groups) are the *same objects* the interpreter evaluates with —
+# parity between the backends holds by construction, not by keeping two
+# copies in sync.  The helpers below mirror the remaining interpreter
+# code paths (casts, stores, condition collapsing).
+
+
+def _bf16(value):
+    """Mirror of the interpreter's bfloat16 cast/store rounding."""
+    return round_to_bfloat16(np.asarray(value, dtype=np.float32))
+
+
+def _ident(value):
+    return value
+
+
+def _store_wrap(buf: Buffer):
+    """Store-value transform for a buffer whose dtype is only known at
+    run time (pipeline inputs/outputs)."""
+    if buf.dtype.code is TypeCode.BFLOAT:
+        return _bf16
+    return _ident
+
+
+def _cond(c):
+    """Mirror of ``Interpreter._exec_IfThenElse`` condition collapsing."""
+    if isinstance(c, np.ndarray):
+        return bool(c.all())
+    return bool(c)
+
+
+def _idx(x):
+    return np.asarray(x, dtype=np.int64)
+
+
+def _cast_f(value, np_dtype):
+    """Mirror of ``Interpreter._eval_Cast`` for float targets."""
+    if isinstance(value, np.ndarray):
+        return value.astype(np_dtype)
+    return np_dtype.type(value)
+
+
+def _cast_i(value, np_dtype):
+    """Mirror of ``Interpreter._eval_Cast`` for int/uint/bool targets."""
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind == "f":
+            return np.trunc(value).astype(np_dtype)
+        return value.astype(np_dtype)
+    return int(value)
+
+
+# -- value-level intrinsics ----------------------------------------------------
+#
+# The interpreter dispatches intrinsic Calls through handlers that
+# receive (interp, call, env) and re-walk the argument expressions.  The
+# compiled backend evaluates the arguments itself (buffer-name StringImm
+# arguments become Buffer objects) and calls a value-level function.
+# The numeric cores are the *same* functions the target simulators use.
+
+
+def _v_tile_zero(rows, cols):
+    return np.zeros(rows * cols, dtype=np.float32)
+
+
+def _v_tile_load(buf, base, stride, rows, cols):
+    idx = tile_index(base, stride, rows, cols)
+    return buf.data[idx].astype(np.float32, copy=False)
+
+
+def _v_tile_matmul(c, a, b, m, n, k):
+    return tdpbf16ps(
+        np.asarray(c, np.float32).reshape(m, n),
+        np.asarray(a, np.float32).reshape(m, k),
+        np.asarray(b, np.float32).reshape(k // 2, 2 * n),
+    ).ravel()
+
+
+def _v_tile_store(buf, base, stride, rows, cols, tile):
+    idx = tile_index(base, stride, rows, cols)
+    values = np.asarray(tile, dtype=buf.data.dtype)
+    if buf.dtype.code is TypeCode.BFLOAT:
+        values = round_to_bfloat16(values)
+    buf.data[idx] = values
+    return np.float32(0.0)
+
+
+def _v_wmma_fill(m, n, value):
+    return np.full(m * n, value, dtype=np.float32)
+
+
+def _v_wmma_load(buf, base, stride, rows, cols):
+    return _v_tile_load(buf, base, stride, rows, cols)
+
+
+def _v_wmma_mma(c, a, b, m, n, k):
+    wmma_check_shape(m, n, k)
+    return mma_sync(
+        np.asarray(c, np.float32).reshape(m, n),
+        np.asarray(a, np.float32).reshape(m, k),
+        np.asarray(b, np.float32).reshape(k, n),
+    ).ravel()
+
+
+def _v_wmma_store(buf, base, stride, m, n, tile):
+    return _v_tile_store(buf, base, stride, m, n, tile)
+
+
+def _v_kway_interleave(k, rows, cols, tile):
+    matrix = np.asarray(tile, dtype=np.float32).reshape(rows, cols)
+    return kway_interleave(matrix, k).ravel()
+
+
+def _v_convolution_shuffle(buf, base, rows, cols, taps, stride):
+    kernel = buf.data[base : base + taps]
+    return toeplitz_from_kernel(kernel, rows, cols, stride).ravel()
+
+
+def _v_multiphase_shuffle(buf, base, rows, cols, taps, factor):
+    kernel = buf.data[base : base + taps]
+    return multiphase_matrix(kernel, rows, cols, factor).ravel()
+
+
+def _v_wmma2mem(x):
+    return x
+
+
+def _v_tile_expand(tile, valid, cols):
+    return tile_expand(tile, valid, cols).ravel()
+
+
+def _v_tile_compact(tile, cols, valid):
+    return tile_compact(tile, cols, valid).ravel()
+
+
+#: intrinsics with a value-level compiled implementation
+VALUE_INTRINSICS: Dict[str, Callable] = {
+    "tile_zero": _v_tile_zero,
+    "tile_load": _v_tile_load,
+    "tile_matmul": _v_tile_matmul,
+    "tile_store": _v_tile_store,
+    "wmma.fill.sync": _v_wmma_fill,
+    "wmma.load.a.sync": _v_wmma_load,
+    "wmma.load.b.sync": _v_wmma_load,
+    "wmma.mma.sync": _v_wmma_mma,
+    "wmma.store.d.sync": _v_wmma_store,
+    "KWayInterleave": _v_kway_interleave,
+    "ConvolutionShuffle": _v_convolution_shuffle,
+    "MultiphaseShuffle": _v_multiphase_shuffle,
+    "WMMA2Mem": _v_wmma2mem,
+    "TileExpand": _v_tile_expand,
+    "TileCompact": _v_tile_compact,
+}
+
+#: unary math intrinsics emitted as direct NumPy calls
+MATH_INTRINSICS = {
+    "exp": "np.exp",
+    "log": "np.log",
+    "sqrt": "np.sqrt",
+    "abs": "np.abs",
+    "floor": "np.floor",
+    "sin": "np.sin",
+    "cos": "np.cos",
+}
+
+#: intrinsics known to be pure (loads of frozen data count as pure);
+#: everything else is assumed to mutate a buffer, which disables the
+#: zero-copy slice-view optimization inside the same statement.
+PURE_INTRINSICS = set(MATH_INTRINSICS) | {
+    "tile_zero",
+    "tile_load",
+    "tile_matmul",
+    "wmma.fill.sync",
+    "wmma.load.a.sync",
+    "wmma.load.b.sync",
+    "wmma.mma.sync",
+    "KWayInterleave",
+    "ConvolutionShuffle",
+    "MultiphaseShuffle",
+    "WMMA2Mem",
+    "TileExpand",
+    "TileCompact",
+}
+
+
+def _expr_calls(e: E.Expr):
+    """Yield every Call node in an expression tree."""
+    stack = [e]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, E.Call):
+            yield node
+        for attr in EXPR_CHILDREN.get(type(node), ()):
+            child = getattr(node, attr)
+            if isinstance(child, tuple):
+                stack.extend(c for c in child if isinstance(c, E.Expr))
+            elif isinstance(child, E.Expr):
+                stack.append(child)
+
+
+def _has_impure_call(e: E.Expr) -> bool:
+    return any(c.name not in PURE_INTRINSICS for c in _expr_calls(e))
+
+
+# -- the emitter ---------------------------------------------------------------
+
+
+class _Emitter:
+    """Walks a lowered statement and produces Python kernel source."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 1
+        self.counter = 0
+        #: IR loop/let variable name -> python local
+        self.scope: Dict[str, str] = {}
+        #: env-sourced variable name -> python local (bound in preamble)
+        self.env_locals: Dict[str, str] = {}
+        #: buffer name -> python local for the flat data array
+        self.data_locals: Dict[str, str] = {}
+        #: buffer name -> python local for the Buffer object
+        self.obj_locals: Dict[str, str] = {}
+        #: external buffer name -> python local for its store transform
+        self.wrap_locals: Dict[str, str] = {}
+        #: names introduced by an enclosing Allocate (not preamble-bound)
+        self.allocated: Set[str] = set()
+        #: buffer names that must be bound from ``buffers`` in the preamble
+        self.ext_data: List[str] = []
+        self.ext_obj: List[str] = []
+        #: injected globals (constants, helper functions)
+        self.globals: Dict[str, object] = {}
+        self.needs_interp = False
+        #: inside a statement that may mutate buffers mid-expression
+        self.copy_views = False
+        #: element dtype of enclosing Allocates, for bf16 store rounding
+        self._alloc_dtypes: Dict[str, object] = {}
+
+    # -- small utilities ----------------------------------------------------
+
+    def fresh(self, prefix: str = "t") -> str:
+        self.counter += 1
+        return f"_{prefix}{self.counter}"
+
+    def const(self, value) -> str:
+        name = f"_C{len(self.globals)}"
+        self.globals[name] = value
+        return name
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def block(self):
+        """Context manager for an indented suite; emits ``pass`` if empty."""
+        emitter = self
+
+        class _Block:
+            def __enter__(self):
+                self.mark = len(emitter.lines)
+                emitter.indent += 1
+
+            def __exit__(self, *exc):
+                if len(emitter.lines) == self.mark:
+                    emitter.line("pass")
+                emitter.indent -= 1
+
+        return _Block()
+
+    # -- buffer locals ------------------------------------------------------
+
+    def buf_data(self, name: str) -> str:
+        local = self.data_locals.get(name)
+        if local is None:
+            local = self.fresh("d")
+            self.data_locals[name] = local
+            if name not in self.allocated:
+                self.ext_data.append(name)
+        return local
+
+    def buf_obj(self, name: str) -> str:
+        local = self.obj_locals.get(name)
+        if local is None:
+            local = self.fresh("b")
+            self.obj_locals[name] = local
+            if name not in self.allocated:
+                self.ext_obj.append(name)
+        return local
+
+    def store_wrap(self, name: str) -> str:
+        """The store-value transform local for an *external* buffer."""
+        local = self.wrap_locals.get(name)
+        if local is None:
+            self.buf_obj(name)
+            local = self.fresh("w")
+            self.wrap_locals[name] = local
+        return local
+
+    # -- expressions --------------------------------------------------------
+
+    def emit(self, e: E.Expr) -> str:
+        method = getattr(self, f"_emit_{type(e).__name__}", None)
+        if method is None:
+            raise CodegenError(f"cannot compile {type(e).__name__}")
+        return method(e)
+
+    def emit_vector(self, e: E.Expr) -> str:
+        """Emit ``e`` guaranteed to evaluate to a 1-D array."""
+        if e.type.lanes > 1:
+            return self.emit(e)
+        return f"_vec({self.emit(e)}, 1)"
+
+    def _emit_IntImm(self, e: E.IntImm) -> str:
+        return repr(e.value)
+
+    def _emit_FloatImm(self, e: E.FloatImm) -> str:
+        if math.isfinite(e.value):
+            return repr(e.value)
+        return self.const(e.value)
+
+    def _emit_Variable(self, e: E.Variable) -> str:
+        local = self.scope.get(e.name)
+        if local is not None:
+            return local
+        local = self.env_locals.get(e.name)
+        if local is None:
+            local = self.fresh("v")
+            self.env_locals[e.name] = local
+        return local
+
+    def _emit_Cast(self, e: E.Cast) -> str:
+        value = self.emit(e.value)
+        target = e.dtype
+        if target.code is TypeCode.BFLOAT:
+            return f"_bf16({value})"
+        np_dtype = self.const(target.to_numpy())
+        if target.is_float():
+            return f"_cast_f({value}, {np_dtype})"
+        return f"_cast_i({value}, {np_dtype})"
+
+    def _binary(self, e, op: str) -> str:
+        return f"({self.emit(e.a)} {op} {self.emit(e.b)})"
+
+    def _emit_Add(self, e):
+        return self._binary(e, "+")
+
+    def _emit_Sub(self, e):
+        return self._binary(e, "-")
+
+    def _emit_Mul(self, e):
+        return self._binary(e, "*")
+
+    def _emit_Div(self, e):
+        if e.type.is_float():
+            return self._binary(e, "/")
+        return self._binary(e, "//")
+
+    def _emit_Mod(self, e):
+        if e.type.is_float():
+            return f"np.fmod({self.emit(e.a)}, {self.emit(e.b)})"
+        return self._binary(e, "%")
+
+    def _emit_Min(self, e):
+        return f"np.minimum({self.emit(e.a)}, {self.emit(e.b)})"
+
+    def _emit_Max(self, e):
+        return f"np.maximum({self.emit(e.a)}, {self.emit(e.b)})"
+
+    def _emit_EQ(self, e):
+        return self._binary(e, "==")
+
+    def _emit_NE(self, e):
+        return self._binary(e, "!=")
+
+    def _emit_LT(self, e):
+        return self._binary(e, "<")
+
+    def _emit_LE(self, e):
+        return self._binary(e, "<=")
+
+    def _emit_GT(self, e):
+        return self._binary(e, ">")
+
+    def _emit_GE(self, e):
+        return self._binary(e, ">=")
+
+    def _emit_And(self, e):
+        return f"np.logical_and({self.emit(e.a)}, {self.emit(e.b)})"
+
+    def _emit_Or(self, e):
+        return f"np.logical_or({self.emit(e.a)}, {self.emit(e.b)})"
+
+    def _emit_Not(self, e):
+        return f"np.logical_not({self.emit(e.value)})"
+
+    def _emit_Select(self, e: E.Select) -> str:
+        return (
+            f"np.where({self.emit(e.condition)}, "
+            f"{self.emit(e.true_value)}, {self.emit(e.false_value)})"
+        )
+
+    def _emit_Ramp(self, e: E.Ramp) -> str:
+        if e.base.type.lanes == 1 and e.stride.type.lanes == 1:
+            base = self.emit(e.base)
+            if isinstance(e.stride, E.IntImm):
+                steps = self.const(np.arange(e.count) * e.stride.value)
+                return f"({base} + {steps})"
+            steps = self.const(np.arange(e.count))
+            return f"({base} + {steps} * {self.emit(e.stride)})"
+        return f"_ramp({self.emit(e.base)}, {self.emit(e.stride)}, {e.count})"
+
+    def _emit_Broadcast(self, e: E.Broadcast) -> str:
+        np_dtype = self.const(e.type.element_of().to_numpy())
+        return f"_bcast({self.emit(e.value)}, {e.count}, {np_dtype})"
+
+    def _emit_VectorReduce(self, e: E.VectorReduce) -> str:
+        return f"_vred({self.emit_vector(e.value)}, {e.result_lanes})"
+
+    def _emit_Shuffle(self, e: E.Shuffle) -> str:
+        indices = self.const(np.asarray(e.indices, dtype=np.int64))
+        parts = [self.emit_vector(v) for v in e.vectors]
+        if len(parts) == 1:
+            return f"{parts[0]}[{indices}]"
+        return f"np.concatenate(({', '.join(parts)},))[{indices}]"
+
+    def _emit_Let(self, e: E.Let) -> str:
+        value = self.emit(e.value)
+        local = self.fresh("v")
+        self.line(f"{local} = {value}")
+        saved = self.scope.get(e.name)
+        self.scope[e.name] = local
+        body = self.emit(e.body)
+        if saved is None:
+            del self.scope[e.name]
+        else:
+            self.scope[e.name] = saved
+        return body
+
+    def _emit_Load(self, e: E.Load) -> str:
+        data = self.buf_data(e.name)
+        idx = e.index
+        if idx.type.lanes == 1:
+            return f"{data}[{self.emit(idx)}]"
+        sliced = self._try_slice(idx)
+        if sliced is not None:
+            code = f"{data}[{sliced}]"
+            if self.copy_views:
+                code = f"np.array({code})"
+            return code
+        return f"{data}[_idx({self.emit(idx)})]"
+
+    def _try_slice(self, idx: E.Expr) -> Optional[str]:
+        """A basic-slice spelling for a scalar-base, const-stride ramp.
+
+        Returns the text between the brackets, or None.  The base is
+        hoisted to a temp so it is evaluated once.
+        """
+        if not isinstance(idx, E.Ramp):
+            return None
+        if idx.base.type.lanes != 1:
+            return None
+        if not isinstance(idx.stride, E.IntImm) or idx.stride.value <= 0:
+            return None
+        stride = idx.stride.value
+        base = self.emit(idx.base)
+        temp = self.fresh("i")
+        self.line(f"{temp} = {base}")
+        if stride == 1:
+            return f"{temp}:{temp} + {idx.count}"
+        stop = idx.count * stride - stride + 1
+        return f"{temp}:{temp} + {stop}:{stride}"
+
+    def _emit_Call(self, e: E.Call) -> str:
+        math_fn = MATH_INTRINSICS.get(e.name)
+        if math_fn is not None:
+            return f"{math_fn}({self.emit(e.args[0])})"
+        fn = VALUE_INTRINSICS.get(e.name)
+        if fn is not None:
+            args = []
+            for a in e.args:
+                if isinstance(a, E.StringImm):
+                    args.append(self.buf_obj(a.value))
+                else:
+                    args.append(self.emit(a))
+            return f"{self.const(fn)}({', '.join(args)})"
+        # unknown intrinsic: hand the Call node to the interpreter
+        self.needs_interp = True
+        call = self.const(e)
+        return f"_interp._eval_Call({call}, {self._env_dict(e)})"
+
+    def _env_dict(self, e: E.Expr) -> str:
+        entries = []
+        for name in sorted(free_variables(e)):
+            local = self.scope.get(name)
+            if local is None:
+                local = self._emit_Variable(E.Variable(name))
+            entries.append(f"{name!r}: {local}")
+        return "{" + ", ".join(entries) + "}"
+
+    def _emit_StringImm(self, e: E.StringImm) -> str:
+        raise CodegenError("string immediate outside an intrinsic call")
+
+    # -- statements ---------------------------------------------------------
+
+    def emit_stmt(self, stmt: S.Stmt) -> None:
+        method = getattr(self, f"_exec_{type(stmt).__name__}", None)
+        if method is None:
+            raise CodegenError(f"cannot compile {type(stmt).__name__}")
+        method(stmt)
+
+    def _exec_Block(self, stmt: S.Block) -> None:
+        for part in stmt.stmts:
+            self.emit_stmt(part)
+
+    def _exec_ProducerConsumer(self, stmt: S.ProducerConsumer) -> None:
+        self.emit_stmt(stmt.body)
+
+    def _exec_Evaluate(self, stmt: S.Evaluate) -> None:
+        if not any(True for _ in _expr_calls(stmt.value)):
+            return  # pure expression, no effect
+        self.copy_views = _has_impure_call(stmt.value)
+        code = self.emit(stmt.value)
+        self.copy_views = False
+        self.line(code)
+
+    def _exec_Store(self, stmt: S.Store) -> None:
+        self.copy_views = _has_impure_call(stmt.value) or _has_impure_call(
+            stmt.index
+        )
+        data = self.buf_data(stmt.name)
+        value = self.emit(stmt.value)
+        if isinstance(stmt.value, E.Load) and stmt.value.name == stmt.name:
+            # bare self-copy: avoid overlapping-view assignment hazards
+            value = f"np.array({value})"
+        if stmt.name in self.allocated:
+            dtype = self._alloc_dtypes.get(stmt.name)
+            if dtype is not None and dtype.code is TypeCode.BFLOAT:
+                value = f"_bf16({value})"
+        else:
+            value = f"{self.store_wrap(stmt.name)}({value})"
+        idx = stmt.index
+        if idx.type.lanes == 1:
+            self.line(f"{data}[{self.emit(idx)}] = {value}")
+        else:
+            sliced = self._try_slice(idx)
+            if sliced is not None:
+                self.line(f"{data}[{sliced}] = {value}")
+            else:
+                self.line(f"{data}[_idx({self.emit(idx)})] = {value}")
+        self.copy_views = False
+
+    def _exec_For(self, stmt: S.For) -> None:
+        var = self.fresh("x")
+        lo = self.fresh("i")
+        self.line(f"{lo} = {self.emit(stmt.min_expr)}")
+        saved = self.scope.get(stmt.name)
+        self.scope[stmt.name] = var
+        if stmt.kind is ForKind.GPU_LANE:
+            # warp-collective body: executes once (see the interpreter)
+            self.line(f"{var} = {lo}")
+            self.emit_stmt(stmt.body)
+        else:
+            extent = self.emit(stmt.extent)
+            self.line(f"for {var} in range({lo}, {lo} + {extent}):")
+            with self.block():
+                self.emit_stmt(stmt.body)
+        if saved is None:
+            del self.scope[stmt.name]
+        else:
+            self.scope[stmt.name] = saved
+
+    def _exec_LetStmt(self, stmt: S.LetStmt) -> None:
+        local = self.fresh("v")
+        self.line(f"{local} = {self.emit(stmt.value)}")
+        saved = self.scope.get(stmt.name)
+        self.scope[stmt.name] = local
+        self.emit_stmt(stmt.body)
+        if saved is None:
+            del self.scope[stmt.name]
+        else:
+            self.scope[stmt.name] = saved
+
+    def _exec_IfThenElse(self, stmt: S.IfThenElse) -> None:
+        self.line(f"if _cond({self.emit(stmt.condition)}):")
+        with self.block():
+            self.emit_stmt(stmt.then_case)
+        if stmt.else_case is not None:
+            self.line("else:")
+            with self.block():
+                self.emit_stmt(stmt.else_case)
+
+    def _exec_Allocate(self, stmt: S.Allocate) -> None:
+        name = stmt.name
+        was_allocated = name in self.allocated
+        self.allocated.add(name)
+        saved_dtype = self._alloc_dtypes.get(name)
+        self._alloc_dtypes[name] = stmt.dtype.element_of()
+        obj = self.buf_obj(name)
+        data = self.buf_data(name)
+        saved = self.fresh("s")
+        extents = ", ".join(self.emit(e) for e in stmt.extents)
+        dtype = self.const(stmt.dtype.element_of())
+        memtype = self.const(stmt.memory_type)
+        self.line(f"{saved} = buffers.get({name!r})")
+        self.line(
+            f"{obj} = _Buffer({name!r}, {dtype}, ({extents},), "
+            f"memory_type={memtype}, is_external=False)"
+        )
+        self.line(f"buffers[{name!r}] = {obj}")
+        self.line(f"{data} = {obj}.data")
+        self.emit_stmt(stmt.body)
+        self.line(f"if {saved} is None:")
+        with self.block():
+            self.line(f"buffers.pop({name!r}, None)")
+        self.line("else:")
+        with self.block():
+            self.line(f"buffers[{name!r}] = {saved}")
+            self.line(f"{obj} = {saved}")
+            self.line(f"{data} = {saved}.data")
+        if not was_allocated:
+            self.allocated.discard(name)
+        if saved_dtype is None:
+            self._alloc_dtypes.pop(name, None)
+        else:
+            self._alloc_dtypes[name] = saved_dtype
+
+    # -- assembly ------------------------------------------------------------
+
+    def source(self) -> str:
+        preamble = []
+        for name in self.ext_data:
+            preamble.append(
+                f"    {self.data_locals[name]} = buffers[{name!r}].data"
+            )
+        for name in self.ext_obj:
+            preamble.append(f"    {self.obj_locals[name]} = buffers[{name!r}]")
+        for name, local in self.wrap_locals.items():
+            preamble.append(
+                f"    {local} = _store_wrap({self.obj_locals[name]})"
+            )
+        for name, local in sorted(self.env_locals.items()):
+            preamble.append(f"    {local} = env[{name!r}]")
+        body = self.lines or ["    pass"]
+        return "\n".join(
+            ["def _kernel(buffers, env, _interp):"] + preamble + body
+        )
+
+
+#: helper functions available inside every kernel
+_HELPER_GLOBALS = {
+    "np": np,
+    "_bf16": _bf16,
+    "_bcast": broadcast_value,
+    "_vec": as_vector,
+    "_vred": reduce_groups,
+    "_ramp": ramp_value,
+    "_cond": _cond,
+    "_idx": _idx,
+    "_cast_f": _cast_f,
+    "_cast_i": _cast_i,
+    "_Buffer": Buffer,
+    "_store_wrap": _store_wrap,
+}
+
+
+class CompiledKernel:
+    """A compiled (or interpreter-fallback) kernel, ready to run."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        source: Optional[str],
+        key: str,
+        needs_interp: bool,
+        is_fallback: bool = False,
+    ) -> None:
+        self.fn = fn
+        self.source = source
+        self.key = key
+        self.needs_interp = needs_interp
+        self.is_fallback = is_fallback
+
+    def __call__(self, buffers: Dict[str, Buffer], env: dict) -> None:
+        interp = None
+        if self.needs_interp:
+            from .interpreter import Interpreter
+
+            interp = Interpreter({}, None)
+            # share the live dict so Allocate/intrinsics see one world
+            interp.buffers = buffers
+        self.fn(buffers, env, interp)
+
+
+def compile_stmt(stmt: S.Stmt, key: str = "") -> CompiledKernel:
+    """Compile a lowered statement into a NumPy kernel.
+
+    Falls back to a kernel that runs the interpreter when the statement
+    contains a construct the emitter does not support, so the compiled
+    backend accepts every statement the interpreter does.
+    """
+    emitter = _Emitter()
+    try:
+        emitter.emit_stmt(stmt)
+        src = emitter.source()
+        code = compile(src, f"<kernel {key[:12] or 'anon'}>", "exec")
+        namespace = dict(_HELPER_GLOBALS)
+        namespace.update(emitter.globals)
+        exec(code, namespace)
+        return CompiledKernel(
+            namespace["_kernel"], src, key, emitter.needs_interp
+        )
+    except CodegenError:
+        def fallback(buffers, env, interp):
+            interp.run(stmt, env)
+
+        return CompiledKernel(
+            fallback, None, key, needs_interp=True, is_fallback=True
+        )

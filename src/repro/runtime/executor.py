@@ -1,4 +1,20 @@
-"""Realizing compiled pipelines against numpy inputs."""
+"""Realizing compiled pipelines against numpy inputs.
+
+A :class:`CompiledPipeline` can execute through either backend:
+
+``backend="interpret"``
+    The tree-walking interpreter — the *instrumented* path.  It records
+    op/byte :class:`~repro.runtime.counters.Counters` for the roofline
+    performance model and bounds-checks every access.
+
+``backend="compile"``
+    The compiled NumPy backend (:mod:`.codegen`) — the *fast* path.
+    The lowered statement is translated once into vectorized NumPy
+    source, memoized in the process-wide kernel cache, and re-run
+    without per-node dispatch overhead.  It produces identical outputs
+    but records nothing, so any run that passes ``counters`` is routed
+    through the interpreter regardless of the configured backend.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +28,7 @@ from ..lowering.pipeline import Lowered, lower
 from .buffer import Buffer
 from .counters import Counters
 from .interpreter import Interpreter
+from .kernel_cache import DEFAULT_CACHE, KernelCache, fingerprint_stmt
 
 # importing the target simulators registers their intrinsic handlers
 from ..targets import amx as _amx  # noqa: F401
@@ -20,22 +37,51 @@ from ..hardboiled import intrinsics as _hb_intrinsics  # noqa: F401
 
 InputMap = Dict[Union[str, ImageParam], np.ndarray]
 
+BACKENDS = ("interpret", "compile")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
 
 class CompiledPipeline:
     """A lowered pipeline ready to run repeatedly."""
 
-    def __init__(self, lowered: Lowered) -> None:
+    def __init__(
+        self,
+        lowered: Lowered,
+        backend: str = "interpret",
+        kernel_cache: Optional[KernelCache] = None,
+    ) -> None:
         self.lowered = lowered
+        self.backend = _check_backend(backend)
+        # explicit None-check: an empty cache is falsy (it has __len__)
+        self.kernel_cache = (
+            kernel_cache if kernel_cache is not None else DEFAULT_CACHE
+        )
         self.output_name = lowered.output.name
         info = lowered.realizations[self.output_name]
         self.output_extents = tuple(as_int(e) for e in info.extents)
         self.output_dtype = lowered.output.dtype.element_of()
+        #: kernel-cache key, computed once — the lowered stmt is immutable
+        self._cache_key: Optional[str] = None
 
     def run(
         self,
         inputs: Optional[InputMap] = None,
         counters: Optional[Counters] = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
+        mode = (
+            _check_backend(backend) if backend is not None else self.backend
+        )
+        if counters is not None:
+            # instrumentation lives only in the interpreter
+            mode = "interpret"
         buffers = {}
         env = {}
         for key, array in (inputs or {}).items():
@@ -53,6 +99,12 @@ class CompiledPipeline:
             is_external=True,
         )
         buffers[self.output_name] = out
+        if mode == "compile":
+            if self._cache_key is None:
+                self._cache_key = fingerprint_stmt(self.lowered.stmt)
+            kernel = self.kernel_cache.get(self.lowered, key=self._cache_key)
+            kernel(buffers, env)
+            return out.to_numpy()
         interp = Interpreter(buffers, counters)
         interp.run(self.lowered.stmt, env)
         if counters is not None:
@@ -69,14 +121,17 @@ class CompiledPipeline:
         return out.to_numpy()
 
 
-def compile_pipeline(output: Func, **lower_kwargs) -> CompiledPipeline:
-    return CompiledPipeline(lower(output, **lower_kwargs))
+def compile_pipeline(
+    output: Func, backend: str = "interpret", **lower_kwargs
+) -> CompiledPipeline:
+    return CompiledPipeline(lower(output, **lower_kwargs), backend=backend)
 
 
 def realize(
     output: Func,
     inputs: Optional[InputMap] = None,
     counters: Optional[Counters] = None,
+    backend: str = "interpret",
     **lower_kwargs,
 ) -> np.ndarray:
     """One-shot: lower, run, and return the output as a numpy array.
@@ -84,4 +139,6 @@ def realize(
     The output array follows numpy convention (outermost dimension first);
     the Func's first argument is the last numpy axis.
     """
-    return compile_pipeline(output, **lower_kwargs).run(inputs, counters)
+    return compile_pipeline(output, backend=backend, **lower_kwargs).run(
+        inputs, counters
+    )

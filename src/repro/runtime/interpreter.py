@@ -68,6 +68,60 @@ def _np_dtype(dtype: DataType):
     return dtype.to_numpy()
 
 
+# -- shared vector-semantics cores ---------------------------------------------
+#
+# Both backends evaluate vector IR with these exact functions: the
+# interpreter calls them per node, the compiled backend (runtime/codegen)
+# injects them into generated kernels.  Keeping one copy is what makes
+# the backends' bit-for-bit parity contract hold by construction.
+
+
+def ramp_value(base, stride, count: int):
+    """``ramp(base, stride, count)`` over scalar or vector base/stride."""
+    steps = np.arange(count)
+    if isinstance(base, np.ndarray) or isinstance(stride, np.ndarray):
+        base = np.atleast_1d(np.asarray(base))
+        stride = np.atleast_1d(np.asarray(stride))
+        if base.size == 1 and stride.size > 1:
+            base = np.full_like(stride, base[0])
+        if stride.size == 1 and base.size > 1:
+            stride = np.full_like(base, stride[0])
+        return (base[None, :] + steps[:, None] * stride[None, :]).ravel()
+    return base + steps * stride
+
+
+def broadcast_value(value, count: int, np_dtype):
+    """``xN(value)``: scalars take the IR element dtype, vectors tile."""
+    if isinstance(value, np.ndarray):
+        return np.tile(value, count)
+    return np.full(count, value, dtype=np_dtype)
+
+
+def as_vector(value, lanes: int) -> np.ndarray:
+    """Normalize a scalar-or-array value to a 1-D array of ``lanes``."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        arr = np.full(lanes, arr[()])
+    return arr
+
+
+def reduce_groups(value: np.ndarray, result_lanes: int) -> np.ndarray:
+    """Sum fixed-size groups of adjacent lanes down to ``result_lanes``."""
+    groups = value.reshape(result_lanes, -1)
+    return groups.sum(axis=1, dtype=groups.dtype)
+
+
+def tile_index(base, stride, rows: int, cols: int) -> np.ndarray:
+    """Flat indices of a rows x cols tile at ``base`` with a row stride.
+
+    The addressing scheme every tile/fragment load-store intrinsic uses
+    (AMX ``tile_load``/``tile_store``, WMMA ``wmma.load/store.*.sync``).
+    """
+    return (
+        base + np.arange(rows)[:, None] * stride + np.arange(cols)
+    ).ravel()
+
+
 class Interpreter:
     """Evaluates statements against a set of named buffers."""
 
@@ -96,11 +150,7 @@ class Interpreter:
 
     def eval_vector(self, e: E.Expr, env: dict) -> np.ndarray:
         """Evaluate and normalize to a 1-D numpy array of ``e.lanes``."""
-        value = self.eval_expr(e, env)
-        arr = np.asarray(value)
-        if arr.ndim == 0:
-            arr = np.full(e.type.lanes, arr[()])
-        return arr
+        return as_vector(self.eval_expr(e, env), e.type.lanes)
 
     def eval_int(self, e: E.Expr, env: dict) -> int:
         value = self.eval_expr(e, env)
@@ -243,29 +293,17 @@ class Interpreter:
     def _eval_Ramp(self, e: E.Ramp, env):
         base = self.eval_expr(e.base, env)
         stride = self.eval_expr(e.stride, env)
-        steps = np.arange(e.count)
-        if isinstance(base, np.ndarray) or isinstance(stride, np.ndarray):
-            base = np.atleast_1d(np.asarray(base))
-            stride = np.atleast_1d(np.asarray(stride))
-            if base.size == 1 and stride.size > 1:
-                base = np.full_like(stride, base[0])
-            if stride.size == 1 and base.size > 1:
-                stride = np.full_like(base, stride[0])
-            return (base[None, :] + steps[:, None] * stride[None, :]).ravel()
-        return base + steps * stride
+        return ramp_value(base, stride, e.count)
 
     def _eval_Broadcast(self, e: E.Broadcast, env):
         value = self.eval_expr(e.value, env)
-        if isinstance(value, np.ndarray):
-            return np.tile(value, e.count)
-        return np.full(e.count, value, dtype=_np_dtype(e.type.element_of()))
+        return broadcast_value(value, e.count, _np_dtype(e.type.element_of()))
 
     def _eval_VectorReduce(self, e: E.VectorReduce, env):
         value = self.eval_vector(e.value, env)
-        groups = value.reshape(e.result_lanes, -1)
         if e.type.is_float():
             self.counters.scalar_flops += value.size - e.result_lanes
-        return groups.sum(axis=1, dtype=groups.dtype)
+        return reduce_groups(value, e.result_lanes)
 
     def _eval_Shuffle(self, e: E.Shuffle, env):
         parts = [self.eval_vector(v, env) for v in e.vectors]

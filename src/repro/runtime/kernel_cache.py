@@ -1,0 +1,85 @@
+"""Memoization of compiled NumPy kernels keyed on the lowered statement.
+
+Compiling a lowered statement to Python source (see :mod:`.codegen`) is
+cheap but not free, and production pipelines re-realize the same
+schedule thousands of times.  The cache key is a *structural*
+fingerprint of the lowered statement tree: two ``lower()`` calls over
+the same Func DAG with the same schedule produce equal statements and
+therefore hit the same cached kernel, while any schedule change (a
+different split factor, vector width, storage annotation, ...) alters
+the statement and misses.
+
+The IR is built from frozen dataclasses whose ``repr`` is complete and
+deterministic (every field, recursively, including dtypes and loop
+kinds), so hashing the repr is a stable fingerprint without a bespoke
+serializer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+from ..ir import Stmt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..lowering.pipeline import Lowered
+    from .codegen import CompiledKernel
+
+
+def fingerprint_stmt(stmt: Stmt) -> str:
+    """A stable content hash of a lowered statement tree."""
+    return hashlib.sha256(repr(stmt).encode("utf-8")).hexdigest()
+
+
+class KernelCache:
+    """An LRU cache of compiled kernels with hit/miss accounting."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._kernels: "OrderedDict[str, CompiledKernel]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def clear(self) -> None:
+        self._kernels.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: str) -> Optional["CompiledKernel"]:
+        kernel = self._kernels.get(key)
+        if kernel is not None:
+            self._kernels.move_to_end(key)
+        return kernel
+
+    def get(
+        self, lowered: "Lowered", key: Optional[str] = None
+    ) -> "CompiledKernel":
+        """The compiled kernel for ``lowered.stmt``, compiling on miss.
+
+        Callers that run repeatedly should precompute ``key`` once
+        (:func:`fingerprint_stmt` walks the whole statement repr).
+        """
+        from .codegen import compile_stmt
+
+        if key is None:
+            key = fingerprint_stmt(lowered.stmt)
+        kernel = self.lookup(key)
+        if kernel is not None:
+            self.hits += 1
+            return kernel
+        self.misses += 1
+        kernel = compile_stmt(lowered.stmt, key=key)
+        self._kernels[key] = kernel
+        while len(self._kernels) > self.maxsize:
+            self._kernels.popitem(last=False)
+        return kernel
+
+
+#: process-wide cache used by :class:`repro.runtime.executor.CompiledPipeline`
+#: unless a private cache is passed in.
+DEFAULT_CACHE = KernelCache()

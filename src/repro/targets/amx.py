@@ -27,7 +27,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..ir import expr as E
-from ..runtime.interpreter import Interpreter, memory_level, register_intrinsic
+from ..runtime.interpreter import (
+    Interpreter,
+    memory_level,
+    register_intrinsic,
+    tile_index,
+)
 from .bfloat16 import round_to_bfloat16
 
 #: architectural limits (Sapphire Rapids AMX)
@@ -125,7 +130,7 @@ def _tile_load(interp: Interpreter, call: E.Call, env):
     rows = interp.eval_int(call.args[3], env)
     cols = interp.eval_int(call.args[4], env)
     check_tile_shape(rows, cols, buf.dtype.bytes_per_lane())
-    idx = (base + np.arange(rows)[:, None] * stride + np.arange(cols)).ravel()
+    idx = tile_index(base, stride, rows, cols)
     if np.any(idx < 0) or np.any(idx >= buf.size):
         raise AMXError(
             f"tile_load out of bounds on {buf.name!r}:"
@@ -168,7 +173,7 @@ def _tile_store(interp: Interpreter, call: E.Call, env):
     rows = interp.eval_int(call.args[3], env)
     cols = interp.eval_int(call.args[4], env)
     tile = interp.eval_vector(call.args[5], env)
-    idx = (base + np.arange(rows)[:, None] * stride + np.arange(cols)).ravel()
+    idx = tile_index(base, stride, rows, cols)
     if np.any(idx < 0) or np.any(idx >= buf.size):
         raise AMXError(
             f"tile_store out of bounds on {buf.name!r}:"

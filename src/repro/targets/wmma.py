@@ -26,7 +26,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..ir import expr as E
-from ..runtime.interpreter import Interpreter, memory_level, register_intrinsic
+from ..runtime.interpreter import (
+    Interpreter,
+    memory_level,
+    register_intrinsic,
+    tile_index,
+)
 
 #: fp16 WMMA fragment shapes (m, n, k)
 SUPPORTED_SHAPES = {(16, 16, 16), (32, 8, 16), (8, 32, 16)}
@@ -66,7 +71,7 @@ def _load_tile(interp: Interpreter, call: E.Call, env, rows_i: int, cols_i: int)
     stride = interp.eval_int(call.args[2], env)
     rows = interp.eval_int(call.args[rows_i], env)
     cols = interp.eval_int(call.args[cols_i], env)
-    idx = (base + np.arange(rows)[:, None] * stride + np.arange(cols)).ravel()
+    idx = tile_index(base, stride, rows, cols)
     if np.any(idx < 0) or np.any(idx >= buf.size):
         raise WMMAError(
             f"wmma load out of bounds on {buf.name!r}:"
@@ -125,7 +130,7 @@ def _store_d(interp: Interpreter, call: E.Call, env):
     m = interp.eval_int(call.args[3], env)
     n = interp.eval_int(call.args[4], env)
     tile = interp.eval_vector(call.args[5], env)
-    idx = (base + np.arange(m)[:, None] * stride + np.arange(n)).ravel()
+    idx = tile_index(base, stride, m, n)
     if np.any(idx < 0) or np.any(idx >= buf.size):
         raise WMMAError(
             f"wmma store out of bounds on {buf.name!r}:"

@@ -1,10 +1,12 @@
 """Tests for the e-graph core: hashconsing, union, rebuild, relations."""
 
+import doctest
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.eqsat import EGraph, ENode, I, Sym, T, Term
+from repro.eqsat import EGraph, ENode, F, I, Sym, T, Term
 
 
 def add(egraph, head, *args):
@@ -36,6 +38,34 @@ class TestHashcons:
         assert eg.lookup_term(t) is None
         added = eg.add_term(t)
         assert eg.lookup_term(t) == added
+
+    def test_lookup_literal_directly(self):
+        eg = EGraph()
+        assert eg.lookup_term(I(7)) is None
+        added = eg.add_term(I(7))
+        assert eg.lookup_term(I(7)) == added
+
+    def test_nan_literals_interned_and_found(self):
+        # NaN != NaN, so without payload canonicalization every fresh
+        # NaN literal would hashcons to a new class and never be found
+        eg = EGraph()
+        a = eg.add_term(F(float("nan")))
+        b = eg.add_term(F(float("nan")))
+        assert a == b
+        assert eg.lookup_term(F(float("nan"))) == a
+        wrapped = eg.add_term(T("Neg", F(float("nan"))))
+        assert eg.lookup_term(T("Neg", F(float("nan")))) == wrapped
+
+
+def test_module_docstring_examples():
+    """The saturate-and-extract sessions in the docs must keep working."""
+    from repro.eqsat import egraph as egraph_mod
+    from repro.eqsat import ematch as ematch_mod
+
+    for module in (egraph_mod, ematch_mod):
+        result = doctest.testmod(module)
+        assert result.attempted > 0, module.__name__
+        assert result.failed == 0, module.__name__
 
 
 class TestUnion:

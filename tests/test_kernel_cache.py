@@ -1,0 +1,103 @@
+"""The kernel cache: memoization, invalidation, and counter routing."""
+
+import numpy as np
+import pytest
+
+from repro import frontend as hl
+from repro.lowering import lower
+from repro.runtime import Counters
+from repro.runtime.executor import CompiledPipeline, realize
+from repro.runtime.kernel_cache import KernelCache, fingerprint_stmt
+
+
+def build_pipeline(width=64, split=8, vector=8):
+    inp = hl.ImageParam(hl.Float(32), 1, name="kc_in")
+    x, xi = hl.Var("x"), hl.Var("xi")
+    f = hl.Func("kc_out")
+    f[x] = inp[x] * 2.0 + 1.0
+    f.bound(x, 0, width)
+    f.split(x, x, xi, split).vectorize(xi, vector)
+    return inp, f
+
+
+def make_inputs(inp, width=64):
+    rng = np.random.default_rng(3)
+    return {inp: rng.standard_normal(width).astype(np.float32)}
+
+
+class TestMemoization:
+    def test_same_pipeline_compiles_once(self):
+        cache = KernelCache()
+        inp, f = build_pipeline()
+        pipe = CompiledPipeline(lower(f), backend="compile", kernel_cache=cache)
+        inputs = make_inputs(inp)
+        pipe.run(inputs)
+        assert (cache.misses, cache.hits) == (1, 0)
+        pipe.run(inputs)
+        pipe.run(inputs)
+        assert (cache.misses, cache.hits) == (1, 2)
+        assert len(cache) == 1
+
+    def test_equal_lowerings_share_a_kernel(self):
+        # two independent lower() runs of the same schedule hit one entry
+        cache = KernelCache()
+        inp, f1 = build_pipeline()
+        _, f2 = build_pipeline()
+        p1 = CompiledPipeline(lower(f1), "compile", kernel_cache=cache)
+        p2 = CompiledPipeline(lower(f2), "compile", kernel_cache=cache)
+        p1.run(make_inputs(inp))
+        p2.run(make_inputs(inp))
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_schedule_change_invalidates_key(self):
+        _, a = build_pipeline(split=8)
+        _, b = build_pipeline(split=16)
+        _, c = build_pipeline(split=8, vector=4)
+        keys = {fingerprint_stmt(lower(g).stmt) for g in (a, b, c)}
+        assert len(keys) == 3
+
+    def test_lru_eviction(self):
+        cache = KernelCache(maxsize=2)
+        stmts = [lower(build_pipeline(split=s)[1]) for s in (8, 16, 32)]
+        for lowered in stmts:
+            cache.get(lowered)
+        assert len(cache) == 2
+        assert cache.misses == 3
+        # oldest entry was evicted: re-requesting it recompiles
+        cache.get(stmts[0])
+        assert cache.misses == 4
+
+
+class TestCounterRouting:
+    def test_counters_force_interpreter(self):
+        """Instrumented runs bypass the compiled backend entirely."""
+        cache = KernelCache()
+        inp, f = build_pipeline()
+        pipe = CompiledPipeline(lower(f), backend="compile", kernel_cache=cache)
+        counters = Counters()
+        out = pipe.run(make_inputs(inp), counters=counters)
+        # the interpreter ran (it counted) and no kernel was compiled
+        assert counters.scalar_flops > 0
+        assert counters.total_store_bytes() > 0
+        assert len(cache) == 0 and cache.misses == 0
+        # and the uncounted compiled run agrees exactly
+        compiled = pipe.run(make_inputs(inp))
+        np.testing.assert_allclose(out, compiled, rtol=0, atol=0)
+        assert cache.misses == 1
+
+    def test_backend_validation(self):
+        _, f = build_pipeline()
+        with pytest.raises(ValueError, match="unknown backend"):
+            CompiledPipeline(lower(f), backend="jit")
+        with pytest.raises(ValueError, match="unknown backend"):
+            CompiledPipeline(lower(f)).run(backend="turbo")
+
+
+class TestRealize:
+    def test_realize_backend_switch(self):
+        inp, f = build_pipeline()
+        inputs = make_inputs(inp)
+        a = realize(f, inputs)
+        _, f2 = build_pipeline()
+        b = realize(f2, inputs, backend="compile")
+        np.testing.assert_allclose(a, b, rtol=0, atol=0)

@@ -34,10 +34,15 @@ def select_with_rules(lowered, rule_filter, iterations=14):
     filtered = [r for r in full_rules if rule_filter(r)]
     original = te.axiomatic_rules
     te.axiomatic_rules = lambda: (filtered, relations)
+    # _rules_for caches per accelerator kind; drop it so the patched
+    # axiom set is actually picked up (and again afterwards, so later
+    # callers re-see the full set)
+    te._rules_for.cache_clear()
     try:
         return select_instructions(lowered, iterations=iterations)
     finally:
         te.axiomatic_rules = original
+        te._rules_for.cache_clear()
 
 
 @pytest.mark.benchmark(group="ablation")

@@ -14,7 +14,7 @@ from repro.hardboiled import select_instructions
 from repro.lowering import lower
 from repro.perfmodel import format_table
 
-from .harness import print_header
+from .harness import eqsat_profile_row, print_eqsat_profile, print_header
 
 KERNEL_SIZES = [8, 32, 56, 96, 160, 256]
 
@@ -22,6 +22,7 @@ KERNEL_SIZES = [8, 32, 56, 96, 160, 256]
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_compile_time(benchmark):
     rows = []
+    profile_rows = []
     eqsat_times = {}
     total_times = {}
     for k in KERNEL_SIZES:
@@ -40,6 +41,7 @@ def test_fig6_compile_time(benchmark):
                 max(s.egraph_nodes for s in report.selections),
             ]
         )
+        profile_rows.append(eqsat_profile_row(f"k={k}", report.eqsat_profile))
     print_header(
         "Figure 6 — Conv1D compile time vs kernel size (seconds, measured)"
     )
@@ -54,6 +56,9 @@ def test_fig6_compile_time(benchmark):
         "paper: equality saturation stays a manageable fraction of"
         " compile time and grows slowly with k"
     )
+    print()
+    print("saturation-phase breakdown (engine profile):")
+    print_eqsat_profile(profile_rows)
     # shape: growth from k=8 to k=256 stays well under the 32x kernel
     # growth (the per-store e-graphs don't blow up)
     assert eqsat_times[256] < eqsat_times[8] * 32

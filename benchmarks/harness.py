@@ -91,3 +91,40 @@ def print_header(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def eqsat_profile_row(label, profile) -> list:
+    """One report row from a saturation profile dict.
+
+    ``profile`` is ``ScheduleStats.profile()`` /
+    ``SelectionReport.eqsat_profile``: total/match/apply/rebuild seconds
+    plus delta/full round and match counters.
+    """
+    return [
+        label,
+        f"{profile.get('total_s', 0.0) * 1e3:.2f} ms",
+        f"{profile.get('match_s', 0.0) * 1e3:.2f} ms",
+        f"{profile.get('apply_s', 0.0) * 1e3:.2f} ms",
+        f"{profile.get('rebuild_s', 0.0) * 1e3:.2f} ms",
+        int(profile.get("delta_rounds", 0)),
+        int(profile.get("full_rounds", 0)),
+        int(profile.get("matches", 0)),
+    ]
+
+
+EQSAT_PROFILE_HEADER = [
+    "workload",
+    "eqsat total",
+    "match",
+    "apply",
+    "rebuild",
+    "delta rounds",
+    "full rounds",
+    "matches",
+]
+
+
+def print_eqsat_profile(rows) -> None:
+    """Print a match/apply/rebuild breakdown table for saturation runs,
+    so perf work has a profile to point at."""
+    print(format_table(EQSAT_PROFILE_HEADER, rows))

@@ -5,7 +5,16 @@ rules (egglog), phased rule schedules, and cost-based extraction.
 """
 
 from .egraph import EClass, EGraph
-from .ematch import Bindings, MatchError, Matcher, eval_value, instantiate
+from .ematch import (
+    Bindings,
+    CompiledQuery,
+    MatchError,
+    Matcher,
+    compile_query,
+    eval_value,
+    instantiate,
+    run_query,
+)
 from .extract import (
     CostModel,
     ExtractionError,
@@ -18,11 +27,13 @@ from .pattern import PApp, PLit, PVar, Pattern, parse_pattern, pattern_vars
 from .rules import (
     Action,
     Atom,
+    BackoffScheduler,
     FactAction,
     GuardAtom,
     LetAction,
     RelAtom,
     Rule,
+    RuleEngine,
     RunStats,
     TermAtom,
     UnionAction,

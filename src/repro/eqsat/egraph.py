@@ -5,6 +5,20 @@ defers congruence repair to ``rebuild``, which processes a worklist of
 touched classes.  Relations (egglog-style Datalog facts over e-classes)
 live alongside the term structure and are re-canonicalized on rebuild.
 
+Three structures make saturation incremental (they are maintained by the
+same mutations that maintain the hashcons, so they are never rebuilt from
+scratch):
+
+* a persistent **head index** (``head_entries``) grouping hashcons
+  entries by operator head, so matchers never re-snapshot the graph;
+* an append-only **dirty log** of touched e-class ids; rule engines keep
+  per-rule cursors into it and ask for the **dirty closure** (touched
+  classes plus all transitive parents) to delta-match only against what
+  changed since their last pass;
+* a **reverse relation index** (class id -> rows mentioning it) so
+  ``rebuild`` re-canonicalizes only rows that mention a merged-away
+  class instead of rescanning every fact.
+
 A minimal saturate-and-extract session — insert a term, rewrite
 ``1 + 1`` to ``2`` until nothing changes, and extract the cheapest
 equivalent form:
@@ -75,6 +89,18 @@ class EGraph:
         self.relations: Dict[str, Set[Tuple[object, ...]]] = defaultdict(set)
         #: bumps on every change; rules sets use it to detect saturation
         self.version = 0
+        #: persistent head -> {node: owner class} index (mirrors hashcons)
+        self._index: Dict[Head, Dict[ENode, int]] = {}
+        #: append-only log of touched class ids; engines keep cursors
+        self._dirty_log: List[int] = []
+        #: class id -> relation rows that mention it (for incremental
+        #: canonicalization); keyed on ids that were canonical at insert
+        self._rows_of: Dict[int, Set[Tuple[str, Tuple[object, ...]]]] = {}
+        #: class ids merged away since the last relation canonicalization
+        self._stale_ids: List[int] = []
+        #: memo for extraction costs: (model key, version, best) — see
+        #: :func:`repro.eqsat.extract.compute_costs`
+        self._cost_cache: Optional[tuple] = None
 
     # -- union-find ----------------------------------------------------------
 
@@ -97,16 +123,25 @@ class EGraph:
     # -- insertion -----------------------------------------------------------
 
     def add_node(self, node: ENode) -> int:
-        node = ENode(_canon_head(node.head), node.args).canonicalize(self.find)
+        if node.args:
+            find = self.find
+            node = ENode(
+                _canon_head(node.head),
+                tuple([find(a) for a in node.args]),
+            )
+        else:
+            node = ENode(_canon_head(node.head), ())
         existing = self.hashcons.get(node)
         if existing is not None:
             return self.find(existing)
         eclass = self._new_class()
         eclass.nodes.add(node)
         self.hashcons[node] = eclass.id
+        self._index.setdefault(node.head, {})[node] = eclass.id
         for child in node.args:
             self.classes[self.find(child)].parents.append((node, eclass.id))
         self.version += 1
+        self._dirty_log.append(eclass.id)
         return eclass.id
 
     def add_term(self, term: Term) -> int:
@@ -149,6 +184,18 @@ class EGraph:
         del self.classes[b]
         self.worklist.append(a)
         self.version += 1
+        self._dirty_log.append(a)
+        # a merge can change row-mediated joins and guards (row values
+        # compare via find, literal payloads can appear); relation rows
+        # create no parent edges, so dirty every class those rows
+        # mention — dirt then reaches match roots through the rows'
+        # structurally-bound arguments
+        for key in (a, b):
+            for _name, row in self._rows_of.get(key, ()):
+                for value in row:
+                    if isinstance(value, int):
+                        self._dirty_log.append(value)
+        self._stale_ids.append(b)
         return True
 
     def rebuild(self) -> None:
@@ -168,6 +215,9 @@ class EGraph:
         new_parents: Dict[ENode, int] = {}
         for node, owner in eclass.parents:
             self.hashcons.pop(node, None)
+            entries = self._index.get(node.head)
+            if entries is not None:
+                entries.pop(node, None)
             node = node.canonicalize(self.find)
             owner = self.find(owner)
             if node in new_parents:
@@ -175,6 +225,7 @@ class EGraph:
                 owner = self.find(owner)
             new_parents[node] = owner
             self.hashcons[node] = owner
+            self._index.setdefault(node.head, {})[node] = owner
         eclass = self.classes.get(self.find(eclass_id))
         if eclass is not None:
             eclass.parents = [
@@ -183,15 +234,34 @@ class EGraph:
             eclass.nodes = {n.canonicalize(self.find) for n in eclass.nodes}
 
     def _canonicalize_relations(self) -> None:
-        for name, tuples in self.relations.items():
-            canon = set()
-            for row in tuples:
-                canon.add(
-                    tuple(
-                        self.find(v) if isinstance(v, int) else v for v in row
-                    )
+        """Re-canonicalize only rows that mention a merged-away class."""
+        while self._stale_ids:
+            stale = self._stale_ids.pop()
+            entries = self._rows_of.pop(stale, None)
+            if not entries:
+                continue
+            for name, row in entries:
+                rows = self.relations[name]
+                if row not in rows:
+                    continue  # already rewritten via another stale id
+                canon = tuple(
+                    self.find(v) if isinstance(v, int) else v for v in row
                 )
-            self.relations[name] = canon
+                if canon == row:
+                    continue
+                rows.discard(row)
+                for v in row:
+                    if isinstance(v, int) and v != stale:
+                        other = self._rows_of.get(v)
+                        if other is not None:
+                            other.discard((name, row))
+                if canon not in rows:
+                    rows.add(canon)
+                    for v in canon:
+                        if isinstance(v, int):
+                            self._rows_of.setdefault(v, set()).add(
+                                (name, canon)
+                            )
 
     # -- relations ---------------------------------------------------------------
 
@@ -201,10 +271,84 @@ class EGraph:
             return False
         self.relations[name].add(canon)
         self.version += 1
+        for v in canon:
+            if isinstance(v, int):
+                self._rows_of.setdefault(v, set()).add((name, canon))
+                self._dirty_log.append(v)
         return True
 
     def facts(self, name: str) -> Set[Tuple[object, ...]]:
         return self.relations.get(name, set())
+
+    def rows_mentioning(
+        self, eclass_id: int
+    ) -> Set[Tuple[str, Tuple[object, ...]]]:
+        """All ``(relation name, row)`` pairs whose row mentions the class.
+
+        Served from the reverse relation index; matchers use it to join
+        relation atoms on an already-bound argument instead of scanning
+        every row of the relation.
+        """
+        return self._rows_of.get(self.find(eclass_id), set())
+
+    # -- incremental-matching support ------------------------------------------
+
+    def head_entries(self, head: Head) -> Dict[ENode, int]:
+        """Persistent hashcons entries for one head: ``{node: owner}``.
+
+        Owners may be stale (merged away) — resolve through :meth:`find`.
+        The mapping is maintained incrementally and must not be mutated
+        by callers.
+        """
+        return self._index.get(head, {})
+
+    def dirty_cursor(self) -> int:
+        """The current end of the dirty log (a watermark for delta reads)."""
+        return len(self._dirty_log)
+
+    def dirty_closure(
+        self,
+        cursor: int,
+        end: Optional[int] = None,
+        max_depth: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Canonical classes touched in ``log[cursor:end]`` plus their
+        transitive parents, mapped to their parent-distance from the
+        nearest touched class (touched classes are at level 0).
+
+        Any new match must bind at least one touched class somewhere in
+        its match tree, so its root class is within the closure at a
+        level bounded by the query's structural depth — that is what
+        makes root-restricted delta matching exact (see
+        ``rules.RuleEngine``).  ``max_depth`` caps the upward walk for
+        engines whose deepest query needs only that many levels.
+        """
+        if end is None:
+            end = len(self._dirty_log)
+        find = self.find
+        classes = self.classes
+        levels: Dict[int, int] = {}
+        frontier: List[int] = []
+        for cid in self._dirty_log[cursor:end]:
+            root = find(cid)
+            if root not in levels and root in classes:
+                levels[root] = 0
+                frontier.append(root)
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            depth += 1
+            next_frontier: List[int] = []
+            for cid in frontier:
+                eclass = classes.get(cid)
+                if eclass is None:
+                    continue
+                for _node, owner in eclass.parents:
+                    owner = find(owner)
+                    if owner not in levels and owner in classes:
+                        levels[owner] = depth
+                        next_frontier.append(owner)
+            frontier = next_frontier
+        return levels
 
     # -- queries -------------------------------------------------------------------
 
@@ -215,7 +359,12 @@ class EGraph:
         return self.classes[self.find(eclass_id)].nodes
 
     def nodes_by_head(self) -> Dict[Head, List[Tuple[int, ENode]]]:
-        """Index of (class, node) by head, over canonical classes."""
+        """Index of (class, node) by head, over canonical classes.
+
+        This builds a fresh snapshot on every call; it exists for the
+        legacy matcher and for debugging.  The incremental engine uses
+        :meth:`head_entries` instead.
+        """
         index: Dict[Head, List[Tuple[int, ENode]]] = defaultdict(list)
         for eclass_id, eclass in self.classes.items():
             for node in eclass.nodes:

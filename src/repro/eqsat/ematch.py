@@ -1,9 +1,23 @@
 """E-matching: finding all assignments of pattern variables to e-classes.
 
-The matcher works against a snapshot index of the e-graph (nodes grouped
-by head).  Bindings map variable names to e-class ids.  Primitive
-arithmetic (``*``, ``%``, ...) is evaluated over literal payloads, both in
-guards and when instantiating action patterns.
+Two matchers live here:
+
+* :class:`Matcher` — the original snapshot matcher (nodes grouped by
+  head, recursive generators).  It remains the reference implementation
+  and the API used by tests and interactive exploration; its
+  ``match_anywhere`` deduplicates ``(eclass, bindings)`` pairs.
+* :class:`CompiledQuery` — a whole rule query (term atoms, relation
+  atoms, guards) lowered **once** into a flat sequence of
+  scan/bind/compare/check instructions executed over a reusable register
+  array.  Variables become register slots, repeated variables become
+  compare instructions, and no per-binding dicts are copied while
+  backtracking.  ``rules.RuleEngine`` drives these programs against the
+  e-graph's persistent head index (full passes) or a per-round delta
+  index (incremental passes).
+
+Bindings map variable names to e-class ids.  Primitive arithmetic
+(``*``, ``%``, ...) is evaluated over literal payloads, both in guards
+and when instantiating action patterns.
 
 Match a pattern against a small e-graph and fold a primitive over the
 bound literals:
@@ -23,11 +37,20 @@ True
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .egraph import EGraph
-from .language import ENode
-from .pattern import PRIMITIVE_OPS, PApp, PLit, Pattern, PVar
+from .language import ENode, Head
+from .pattern import (
+    PRIMITIVE_OPS,
+    PApp,
+    PLit,
+    Pattern,
+    PVar,
+    pattern_depth,
+    pattern_var_depths,
+    pattern_vars,
+)
 
 Bindings = Dict[str, int]
 
@@ -82,7 +105,20 @@ class Matcher:
     def match_anywhere(
         self, pattern: Pattern, bindings: Bindings
     ) -> Iterator[tuple]:
-        """Yield ``(eclass_id, bindings)`` for matches anywhere in the graph."""
+        """Yield unique ``(eclass_id, bindings)`` matches over the graph.
+
+        A class holding several same-head nodes used to yield the full
+        per-class match set once *per node*; duplicates are now folded.
+        """
+        seen = set()
+
+        def emit(eclass_id: int, out: Bindings):
+            key = (eclass_id, tuple(sorted(out.items())))
+            if key in seen:
+                return False
+            seen.add(key)
+            return True
+
         if isinstance(pattern, PVar) and pattern.name in bindings:
             root = self.egraph.find(bindings[pattern.name])
             yield root, bindings
@@ -91,14 +127,17 @@ class Matcher:
             for eclass_id, _node in self.index.get(pattern.head, ()):  # noqa: B007
                 eclass_id = self.egraph.find(eclass_id)
                 for out in self.match_in_class(pattern, eclass_id, bindings):
-                    yield eclass_id, out
+                    if emit(eclass_id, out):
+                        yield eclass_id, out
             return
         # bare variable or literal: enumerate all classes
         for eclass_id in self.egraph.eclass_ids():
             if eclass_id not in self.egraph.classes:
                 continue
             for out in self.match_in_class(pattern, eclass_id, bindings):
-                yield self.egraph.find(eclass_id), out
+                root = self.egraph.find(eclass_id)
+                if emit(root, out):
+                    yield root, out
 
     # -- primitive evaluation ---------------------------------------------------
 
@@ -107,7 +146,7 @@ class Matcher:
         return eval_value(self.egraph, pattern, bindings)
 
 
-def eval_value(egraph: EGraph, pattern: Pattern, bindings: Bindings):
+def eval_value(egraph: EGraph, pattern: Pattern, bindings):
     if isinstance(pattern, PLit):
         return pattern.value
     if isinstance(pattern, PVar):
@@ -171,3 +210,687 @@ def instantiate(egraph: EGraph, pattern: Pattern, bindings: Bindings) -> int:
         return egraph.add_literal(kind, value)
     args = tuple(instantiate(egraph, a, bindings) for a in pattern.args)
     return egraph.add_node(ENode(pattern.head, args))
+
+
+# -- compiled pattern programs -------------------------------------------------
+#
+# A whole rule query compiles to a flat instruction tuple list.  Register
+# allocation is single-assignment along any execution path, so
+# backtracking needs no trail: a register is only read by instructions
+# that run after its (unique) writer.
+
+OP_SCAN = 0  # (op, out_class_reg, head, arity, arg_base) — root candidates
+OP_BIND = 1  # (op, class_reg, head, arity, arg_base) — nodes inside a class
+OP_COMPARE = 2  # (op, reg_a, reg_b)
+OP_CHECK_LIT = 3  # (op, reg, value)
+OP_SCAN_ALL = 4  # (op, out_class_reg) — every class (bare var/literal root)
+OP_SCAN_REL = 5  # (op, name, arity, arg_base)
+OP_GUARD = 6  # (op, atom, view, bind_name, bind_slot)
+OP_SCAN_REL_BOUND = 7  # (op, name, arity, arg_base, src_slot, position)
+
+
+class _RegView:
+    """Mapping view over (slots, registers) for guard/primitive evaluation."""
+
+    __slots__ = ("slots", "regs")
+
+    def __init__(self, slots: Dict[str, int], regs: List[int]) -> None:
+        self.slots = slots
+        self.regs = regs
+
+    def get(self, name: str, default=None):
+        slot = self.slots.get(name)
+        if slot is None:
+            return default
+        return self.regs[slot]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.slots
+
+
+class CompiledQuery:
+    """One rule query lowered to a register program.
+
+    ``var_slots`` maps variable names to register indices; ``key_slots``
+    is the ordered slot list used to build canonical dedup keys.
+    ``delta_safe`` reports whether restricting the *first* scan to the
+    dirty closure is exact, and ``depth`` is the closure level that scan
+    must reach: new material sits at most ``depth`` structural levels
+    below any match root (see ``rules.RuleEngine``).
+    """
+
+    __slots__ = (
+        "instructions",
+        "n_regs",
+        "var_slots",
+        "key_slots",
+        "delta_safe",
+        "depth",
+    )
+
+    def __init__(
+        self, instructions, n_regs, var_slots, delta_safe, depth
+    ) -> None:
+        self.instructions = tuple(instructions)
+        self.n_regs = n_regs
+        self.var_slots = dict(var_slots)
+        self.key_slots = tuple(sorted(set(var_slots.values())))
+        self.delta_safe = delta_safe
+        self.depth = depth
+
+
+def compile_query(atoms: Sequence) -> CompiledQuery:
+    """Lower a query (a sequence of atoms, see :mod:`.rules`) once."""
+    from .rules import GuardAtom, RelAtom, TermAtom  # cycle-free at runtime
+
+    instrs: List[tuple] = []
+    slots: Dict[str, int] = {}
+    n_regs = 0
+
+    def alloc(count: int = 1) -> int:
+        nonlocal n_regs
+        base = n_regs
+        n_regs += count
+        return base
+
+    def compile_subpattern(pattern: Pattern, reg: int) -> None:
+        if isinstance(pattern, PVar):
+            slot = slots.get(pattern.name)
+            if slot is None:
+                slots[pattern.name] = reg
+            elif slot != reg:
+                instrs.append((OP_COMPARE, slot, reg))
+            return
+        if isinstance(pattern, PLit):
+            instrs.append((OP_CHECK_LIT, reg, pattern.value))
+            return
+        arity = len(pattern.args)
+        base = alloc(arity)
+        instrs.append((OP_BIND, reg, pattern.head, arity, base))
+        for j, arg in enumerate(pattern.args):
+            compile_subpattern(arg, base + j)
+
+    def bind_root_var(var: Optional[str], root_reg: int) -> None:
+        if var is None:
+            return
+        slot = slots.get(var)
+        if slot is None:
+            slots[var] = root_reg
+        elif slot != root_reg:
+            instrs.append((OP_COMPARE, slot, root_reg))
+
+    # -- delta-safety analysis ----------------------------------------------
+    # Restricting the first scan to the dirty closure is exact when any
+    # new match must bind a touched class *structurally under the root*:
+    #   * the first atom is a structural TermAtom (its match tree hangs
+    #     off the root, and the closure contains all parents of touched
+    #     classes);
+    #   * every later TermAtom matches inside a class that is itself
+    #     bound at a *structural* position (new nodes there dirty that
+    #     class, whose root is a parent-ancestor);
+    #   * every RelAtom carries only variable/literal args and shares a
+    #     structurally-bound variable, so a new row dirties a class in
+    #     the root's parent-reachable subtree.
+    # Variables that enter a match only through a relation row or a
+    # guard binding are NOT structurally connected — their classes have
+    # no parent edge leading to the root, so anchoring a later atom on
+    # them would let new material escape the dirty closure.  Anything
+    # of that shape (and second unbound scans, relation-first rules,
+    # ...) falls back to full matching every round.
+    first = atoms[0] if atoms else None
+    delta_safe = (
+        isinstance(first, TermAtom)
+        and isinstance(first.pattern, PApp)
+        and first.pattern.head not in PRIMITIVE_OPS
+    )
+    if delta_safe:
+        structural_vars = pattern_vars(first.pattern)
+        if first.var is not None:
+            structural_vars.add(first.var)
+        for atom in atoms[1:]:
+            if isinstance(atom, TermAtom):
+                if atom.var is None or atom.var not in structural_vars:
+                    delta_safe = False
+                    break
+                # its pattern hangs off a structural class, so its
+                # variables are structural too
+                structural_vars |= pattern_vars(atom.pattern)
+            elif isinstance(atom, RelAtom):
+                arg_vars = {
+                    a.name for a in atom.args if isinstance(a, PVar)
+                }
+                if not all(
+                    isinstance(a, (PVar, PLit)) for a in atom.args
+                ) or not (arg_vars & structural_vars):
+                    delta_safe = False
+                    break
+                # row-bound variables are deliberately NOT added to
+                # structural_vars: their classes are only reachable
+                # through the row, not through parent edges
+
+    # -- instruction emission ------------------------------------------------
+    for atom in atoms:
+        if isinstance(atom, TermAtom):
+            pattern = atom.pattern
+            if isinstance(pattern, PApp):
+                bound_slot = (
+                    slots.get(atom.var) if atom.var is not None else None
+                )
+                if bound_slot is not None:
+                    # match inside the already-bound class
+                    arity = len(pattern.args)
+                    base = alloc(arity)
+                    instrs.append(
+                        (OP_BIND, bound_slot, pattern.head, arity, base)
+                    )
+                    for j, arg in enumerate(pattern.args):
+                        compile_subpattern(arg, base + j)
+                else:
+                    root_reg = alloc()
+                    arity = len(pattern.args)
+                    base = alloc(arity)
+                    instrs.append(
+                        (OP_SCAN, root_reg, pattern.head, arity, base)
+                    )
+                    for j, arg in enumerate(pattern.args):
+                        compile_subpattern(arg, base + j)
+                    bind_root_var(atom.var, root_reg)
+            elif isinstance(pattern, PVar):
+                slot = slots.get(pattern.name)
+                if slot is None:
+                    slot = alloc()
+                    instrs.append((OP_SCAN_ALL, slot))
+                    slots[pattern.name] = slot
+                bind_root_var(atom.var, slot)
+            else:  # PLit root
+                root_reg = alloc()
+                instrs.append((OP_SCAN_ALL, root_reg))
+                instrs.append((OP_CHECK_LIT, root_reg, pattern.value))
+                bind_root_var(atom.var, root_reg)
+        elif isinstance(atom, RelAtom):
+            arity = len(atom.args)
+            base = alloc(arity)
+            # join on an already-bound variable argument when possible:
+            # rows come from the reverse class->rows index instead of a
+            # scan over the whole relation
+            bound_pos = None
+            for j, arg in enumerate(atom.args):
+                if isinstance(arg, PVar) and arg.name in slots:
+                    bound_pos = (slots[arg.name], j)
+                    break
+            if bound_pos is not None:
+                instrs.append(
+                    (
+                        OP_SCAN_REL_BOUND,
+                        atom.name,
+                        arity,
+                        base,
+                        bound_pos[0],
+                        bound_pos[1],
+                    )
+                )
+            else:
+                instrs.append((OP_SCAN_REL, atom.name, arity, base))
+            for j, arg in enumerate(atom.args):
+                compile_subpattern(arg, base + j)
+        elif isinstance(atom, GuardAtom):
+            # A (= x <expr>) guard with exactly one unbound top-level
+            # variable binds it to the computed literal; reserve its slot.
+            bind_name = bind_slot = None
+            if atom.op == "=":
+                unbound = [
+                    a
+                    for a in atom.args
+                    if isinstance(a, PVar) and a.name not in slots
+                ]
+                if len(unbound) == 1:
+                    bind_name = unbound[0].name
+                    bind_slot = alloc()
+            view = dict(slots)  # boundness snapshot before the guard
+            instrs.append((OP_GUARD, atom, view, bind_name, bind_slot))
+            if bind_name is not None:
+                slots[bind_name] = bind_slot
+        else:
+            raise MatchError(f"unknown atom {atom!r}")
+
+    # closure depth: the maximum parent-distance from any structural
+    # position of the query (where new material can appear) up to the
+    # match root.  Variables carry their depth so positions inside later
+    # class-bound term atoms and relation rows are anchored correctly.
+    depth = 0
+    var_depth: Dict[str, int] = {}
+    for atom in atoms:
+        if isinstance(atom, TermAtom):
+            base = 0
+            if atom.var is not None and atom.var in var_depth:
+                base = var_depth[atom.var]
+            else:
+                if atom.var is not None:
+                    var_depth[atom.var] = 0
+            depth = max(depth, base + pattern_depth(atom.pattern))
+            pattern_var_depths(atom.pattern, base, var_depth)
+        elif isinstance(atom, RelAtom):
+            for arg in atom.args:
+                if isinstance(arg, PVar):
+                    depth = max(depth, var_depth.get(arg.name, 0))
+    return CompiledQuery(instrs, n_regs, slots, delta_safe, max(depth, 1))
+
+
+import operator as _operator
+
+_COMPARISON_FNS = {
+    ">": _operator.gt,
+    "<": _operator.lt,
+    ">=": _operator.ge,
+    "<=": _operator.le,
+    "!=": _operator.ne,
+}
+
+
+def _simple_comparison(atom, view_slots):
+    """Specialize a pure comparison guard over bound vars/literals.
+
+    Returns ``(compare, a_spec, b_spec)`` where each spec is ``("lit",
+    value)`` or ``("var", slot)``, or None when the guard needs the
+    general evaluator (primitive arithmetic, ``=`` binding, ...).
+    """
+    compare = _COMPARISON_FNS.get(atom.op)
+    if compare is None or len(atom.args) != 2:
+        return None
+    specs = []
+    for arg in atom.args:
+        if isinstance(arg, PLit):
+            specs.append(("lit", arg.value))
+        elif isinstance(arg, PVar) and arg.name in view_slots:
+            specs.append(("var", view_slots[arg.name]))
+        else:
+            return None
+    return compare, specs[0], specs[1]
+
+
+def _exec_guard(egraph: EGraph, ins, regs: List[int]) -> bool:
+    """Execute a guard instruction; mirrors the reference semantics."""
+    _, atom, view_slots, bind_name, bind_slot = ins
+    view = _RegView(view_slots, regs)
+    return _guard_holds(egraph, atom, view, regs, bind_name, bind_slot)
+
+
+def _guard_holds(
+    egraph: EGraph, atom, view: "_RegView", regs, bind_name, bind_slot
+) -> bool:
+    if atom.op == "=":
+        lhs, rhs = atom.args
+        lhs_value = eval_value(egraph, lhs, view)
+        rhs_value = eval_value(egraph, rhs, view)
+        if lhs_value is not None and rhs_value is not None:
+            return lhs_value == rhs_value
+        for unbound, value in ((lhs, rhs_value), (rhs, lhs_value)):
+            if (
+                isinstance(unbound, PVar)
+                and unbound.name not in view
+                and value is not None
+            ):
+                kind = "i64" if isinstance(value, int) else "f64"
+                regs[bind_slot] = egraph.add_literal(kind, value)
+                return True
+        if isinstance(lhs, PVar) and isinstance(rhs, PVar):
+            a, b = view.get(lhs.name), view.get(rhs.name)
+            return (
+                a is not None
+                and b is not None
+                and egraph.find(a) == egraph.find(b)
+            )
+        return False
+    values = [eval_value(egraph, a, view) for a in atom.args]
+    if any(v is None for v in values):
+        return False
+    a, b = values
+    return _COMPARISON_FNS[atom.op](a, b)
+
+
+#: candidate source for the first scan: head -> iterable of (class, node)
+ScanSource = Callable[[Head], Iterator[Tuple[int, ENode]]]
+
+
+class BoundExecutor:
+    """A query program pre-bound to one e-graph.
+
+    Each instruction becomes one closure chained to the next, built once;
+    running a pass only swaps the root candidate source and the match
+    callback.  The register array is reused across runs (matching is
+    single-threaded and non-reentrant per executor).
+    """
+
+    __slots__ = ("program", "regs", "_entry", "_cell")
+
+    def __init__(self, program: "CompiledQuery", egraph: EGraph) -> None:
+        self.program = program
+        regs = self.regs = [0] * max(program.n_regs, 1)
+        find = egraph.find
+        classes = egraph.classes
+        literal_value = egraph.literal_value
+        #: [root_source, on_match] swapped per run
+        cell = self._cell = [None, None]
+
+        def tail():
+            cell[1](regs)
+
+        chain = tail
+        for ip in range(len(program.instructions) - 1, -1, -1):
+            ins = program.instructions[ip]
+            op = ins[0]
+            nxt = chain
+            if op == OP_COMPARE:
+                _, ra, rb = ins
+
+                def chain(ra=ra, rb=rb, nxt=nxt):
+                    if find(regs[ra]) == find(regs[rb]):
+                        nxt()
+
+            elif op == OP_CHECK_LIT:
+                _, reg, expect = ins
+
+                def chain(reg=reg, expect=expect, nxt=nxt):
+                    value = literal_value(regs[reg])
+                    if value is not None and value == expect:
+                        nxt()
+
+            elif op == OP_GUARD:
+                _, atom, view_slots, bind_name, bind_slot = ins
+                spec = _simple_comparison(atom, view_slots)
+                if spec is not None:
+                    compare, a_spec, b_spec = spec
+
+                    def load(arg_spec):
+                        kind, payload = arg_spec
+                        if kind == "lit":
+                            return lambda: payload
+                        return lambda slot=payload: literal_value(
+                            regs[slot]
+                        )
+
+                    def chain(
+                        compare=compare,
+                        load_a=load(a_spec),
+                        load_b=load(b_spec),
+                        nxt=nxt,
+                    ):
+                        a = load_a()
+                        if a is None:
+                            return
+                        b = load_b()
+                        if b is None:
+                            return
+                        if compare(a, b):
+                            nxt()
+
+                else:
+                    view = _RegView(view_slots, regs)
+
+                    def chain(
+                        atom=atom,
+                        view=view,
+                        bind_name=bind_name,
+                        bind_slot=bind_slot,
+                        nxt=nxt,
+                    ):
+                        if _guard_holds(
+                            egraph, atom, view, regs, bind_name, bind_slot
+                        ):
+                            nxt()
+
+            elif op == OP_BIND:
+                _, creg, head, arity, base = ins
+
+                def chain(
+                    creg=creg,
+                    head=head,
+                    arity=arity,
+                    base=base,
+                    end=base + arity,
+                    nxt=nxt,
+                ):
+                    eclass = classes.get(find(regs[creg]))
+                    if eclass is None:
+                        return
+                    for node in eclass.nodes:
+                        args = node.args
+                        if node.head == head and len(args) == arity:
+                            regs[base:end] = args
+                            nxt()
+
+            elif op == OP_SCAN:
+                _, out, head, arity, base = ins
+                if ip == 0:
+
+                    def chain(
+                        out=out,
+                        head=head,
+                        arity=arity,
+                        base=base,
+                        end=base + arity,
+                        nxt=nxt,
+                    ):
+                        for cid, node in cell[0](head):
+                            args = node.args
+                            if len(args) != arity:
+                                continue
+                            regs[out] = cid
+                            regs[base:end] = args
+                            nxt()
+
+                else:
+                    entries_of = egraph.head_entries
+
+                    def chain(
+                        out=out,
+                        head=head,
+                        arity=arity,
+                        base=base,
+                        end=base + arity,
+                        nxt=nxt,
+                    ):
+                        for node, owner in entries_of(head).items():
+                            args = node.args
+                            if len(args) != arity:
+                                continue
+                            regs[out] = owner
+                            regs[base:end] = args
+                            nxt()
+
+            elif op == OP_SCAN_ALL:
+                _, out = ins
+
+                def chain(out=out, nxt=nxt):
+                    for cid in list(classes.keys()):
+                        regs[out] = cid
+                        nxt()
+
+            elif op == OP_SCAN_REL:
+                _, name, arity, base = ins
+                facts_of = egraph.facts
+
+                def chain(name=name, arity=arity, base=base, nxt=nxt):
+                    for row in facts_of(name):
+                        if len(row) != arity:
+                            continue
+                        for j in range(arity):
+                            value = row[j]
+                            if not isinstance(value, int):
+                                raise MatchError(
+                                    f"relation row holds non-eclass value"
+                                    f" {value!r}"
+                                )
+                            regs[base + j] = value
+                        nxt()
+
+            elif op == OP_SCAN_REL_BOUND:
+                _, name, arity, base, src_slot, pos = ins
+                rows_mentioning = egraph.rows_mentioning
+
+                def chain(
+                    name=name,
+                    arity=arity,
+                    base=base,
+                    src_slot=src_slot,
+                    pos=pos,
+                    nxt=nxt,
+                ):
+                    target = find(regs[src_slot])
+                    for rel_name, row in rows_mentioning(target):
+                        if rel_name != name or len(row) != arity:
+                            continue
+                        value = row[pos]
+                        if not isinstance(value, int) or find(value) != target:
+                            continue
+                        for j in range(arity):
+                            value = row[j]
+                            if not isinstance(value, int):
+                                raise MatchError(
+                                    f"relation row holds non-eclass value"
+                                    f" {value!r}"
+                                )
+                            regs[base + j] = value
+                        nxt()
+
+            else:
+                raise MatchError(f"unknown opcode {op!r}")
+        self._entry = chain
+
+    def run(self, root_source: ScanSource, on_match) -> None:
+        """One pass: draw root candidates from ``root_source``, call
+        ``on_match`` with the live register array per match."""
+        self._cell[0] = root_source
+        self._cell[1] = on_match
+        self._entry()
+
+
+def full_scan_source(egraph: EGraph) -> ScanSource:
+    """Root candidates from the persistent head index (a full pass)."""
+
+    def source(head: Head):
+        # owners may be stale; consumers canonicalize through find()
+        for node, owner in egraph.head_entries(head).items():
+            yield owner, node
+
+    return source
+
+
+class DeltaSource:
+    """Root candidates restricted to a dirty closure (a delta pass).
+
+    ``closure`` maps class ids to their parent-distance from the nearest
+    touched class.  Entries carry that level so each rule can further
+    restrict candidates to its own structural depth (a depth-1 rule only
+    ever gains matches rooted at a touched class or its direct parents).
+    ``min_level`` lets engines skip rules whose root head has no
+    candidates within reach without entering the query program.
+    """
+
+    __slots__ = ("index", "min_levels", "_egraph", "_closure", "_built")
+
+    def __init__(self, egraph: EGraph, closure: Dict[int, int]) -> None:
+        # first pass: head presence/levels only — candidate lists are
+        # built lazily, and only for the heads rules actually scan
+        min_levels: Dict[Head, int] = {}
+        classes = egraph.classes
+        for cid, level in closure.items():
+            eclass = classes.get(cid)
+            if eclass is None:
+                continue
+            for node in eclass.nodes:
+                head = node.head
+                current = min_levels.get(head)
+                if current is None or level < current:
+                    min_levels[head] = level
+        self.index: Dict[Head, List[Tuple[int, ENode, int]]] = {}
+        self.min_levels = min_levels
+        self._egraph = egraph
+        self._closure = closure
+        self._built: set = set()
+
+    def prepare(self, heads) -> None:
+        """Build candidate lists for the given heads in one pass."""
+        missing = {
+            h for h in heads if h not in self._built and h in self.min_levels
+        }
+        if not missing:
+            return
+        classes = self._egraph.classes
+        index = self.index
+        for cid, level in self._closure.items():
+            eclass = classes.get(cid)
+            if eclass is None:
+                continue
+            for node in eclass.nodes:
+                if node.head in missing:
+                    index.setdefault(node.head, []).append(
+                        (cid, node, level)
+                    )
+        self._built |= missing
+
+    def rule_plan(self, by_head, programs) -> List[int]:
+        """Rule indices that can have new matches against this delta:
+        their root head is present within their closure depth."""
+        plan: List[int] = []
+        min_levels = self.min_levels
+        for head, indices in by_head.items():
+            level = min_levels.get(head)
+            if level is None:
+                continue
+            for idx in indices:
+                if programs[idx].depth >= level:
+                    plan.append(idx)
+        return plan
+
+    def min_level(self, head: Head) -> Optional[int]:
+        """Smallest closure level among candidates with this head."""
+        return self.min_levels.get(head)
+
+    def at_depth(self, depth: int) -> "ScanSource":
+        """A scan source over candidates within ``depth`` levels."""
+
+        def source(head: Head):
+            if head not in self._built:
+                self.prepare((head,))
+            for cid, node, level in self.index.get(head, ()):
+                if level <= depth:
+                    yield cid, node
+
+        return source
+
+
+def delta_scan_source(egraph: EGraph, closure) -> DeltaSource:
+    return DeltaSource(egraph, closure)
+
+
+def run_query(
+    egraph: EGraph,
+    query: CompiledQuery,
+    root_source: Optional[ScanSource] = None,
+    on_match: Optional[Callable[[List[int]], None]] = None,
+) -> Optional[List[Bindings]]:
+    """Execute a compiled query; the first OP_SCAN draws candidates from
+    ``root_source`` (later scans always use the full index).
+
+    A convenience wrapper over :class:`BoundExecutor` for one-shot
+    callers (``find_matches``, tests); engines keep their executors.
+    With ``on_match`` given it is called with the live register array
+    per match (read, don't keep); otherwise a list of bindings dicts is
+    returned.
+    """
+    if root_source is None:
+        root_source = full_scan_source(egraph)
+    results: Optional[List[Bindings]] = None
+    if on_match is None:
+        results = []
+        find = egraph.find
+        var_slots = query.var_slots
+
+        def on_match(regs):  # noqa: F811 — default collector
+            results.append(
+                {name: find(regs[s]) for name, s in var_slots.items()}
+            )
+
+    BoundExecutor(query, egraph).run(root_source, on_match)
+    return results

@@ -6,13 +6,20 @@ small-is-better cost suffices.  ``ExprVar`` (a materialized temporary) is
 special: its subtree is computed once outside the hot loop, so its
 children contribute only epsilon — enough to keep costs strictly
 monotonic (and extraction cycle-free) without penalizing swizzles.
+
+``compute_costs`` runs the fixpoint sparsely: a sweep revisits only
+classes whose children's best entry changed in the previous sweep
+(propagated through the parent lists), instead of rescanning every node
+of every class each sweep — the quadratic behaviour of the naive loop on
+saturated graphs.  Results are memoized on the e-graph, keyed by cost
+model and invalidated by any version change, so repeated extractions of
+a saturated graph pay the fixpoint once.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from .egraph import EGraph
 from .language import ENode, Term
@@ -36,6 +43,15 @@ class CostModel:
         scale = self.hoisted_heads.get(node.head, 1.0)
         return base + scale * sum(child_costs)
 
+    def cache_key(self) -> tuple:
+        """Hashable fingerprint for the per-e-graph cost memo."""
+        return (
+            type(self),
+            tuple(sorted(self.base_costs.items())),
+            self.default_cost,
+            tuple(sorted(self.hoisted_heads.items())),
+        )
+
 
 class ExtractionError(RuntimeError):
     pass
@@ -46,13 +62,28 @@ def compute_costs(
 ) -> Dict[int, Tuple[float, ENode]]:
     """Fixpoint computation of the cheapest (cost, node) per e-class."""
     cost_model = cost_model or CostModel()
+    key = cost_model.cache_key()
+    cached = egraph._cost_cache
+    if (
+        cached is not None
+        and cached[0] == key
+        and cached[1] == egraph.version
+    ):
+        return cached[2]
     best: Dict[int, Tuple[float, ENode]] = {}
-    changed = True
-    while changed:
-        changed = False
-        for eclass_id in list(egraph.classes.keys()):
-            for node in egraph.nodes_of(eclass_id):
-                child_entries = [best.get(egraph.find(a)) for a in node.args]
+    find = egraph.find
+    classes = egraph.classes
+    # sweep order is class-creation order, matching the naive loop
+    order = {cid: i for i, cid in enumerate(classes.keys())}
+    pending: Set[int] = set(classes.keys())
+    while pending:
+        changed: Set[int] = set()
+        for eclass_id in sorted(pending, key=order.__getitem__):
+            eclass = classes.get(eclass_id)
+            if eclass is None:
+                continue
+            for node in eclass.nodes:
+                child_entries = [best.get(find(a)) for a in node.args]
                 if any(c is None for c in child_entries):
                     continue
                 cost = cost_model.node_cost(
@@ -61,7 +92,18 @@ def compute_costs(
                 current = best.get(eclass_id)
                 if current is None or cost < current[0] - 1e-12:
                     best[eclass_id] = (cost, node)
-                    changed = True
+                    changed.add(eclass_id)
+        # revisit only the parents of classes whose best entry changed
+        pending = set()
+        for eclass_id in changed:
+            eclass = classes.get(eclass_id)
+            if eclass is None:
+                continue
+            for _node, owner in eclass.parents:
+                owner = find(owner)
+                if owner in classes:
+                    pending.add(owner)
+    egraph._cost_cache = (key, egraph.version, best)
     return best
 
 

@@ -1,0 +1,263 @@
+"""The pre-incremental saturation loop, preserved for comparison.
+
+This is the engine as it stood before the incremental overhaul: every
+round snapshots the whole e-graph into a by-head index
+(:class:`LegacyMatcher`), re-matches every rule against the entire graph
+(re-deriving every old match — a class holding several same-head nodes
+even re-yields its matches once per node), and re-applies everything it
+finds.  ``benchmarks/bench_eqsat_speed.py`` runs it side by side with
+``rules.RuleEngine`` to report the speedup and to assert both engines
+reach identical results; keep its semantics frozen.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Sequence, Tuple
+
+from .egraph import EGraph
+from .ematch import Bindings, MatchError, eval_value
+from .pattern import PApp, PLit, Pattern, PVar
+from .rules import (
+    Atom,
+    GuardAtom,
+    RelAtom,
+    Rule,
+    RunStats,
+    TermAtom,
+    apply_actions,
+)
+from .schedule import ScheduleStats
+
+
+class LegacyMatcher:
+    """The original snapshot matcher, duplicate yields and all.
+
+    The maintained :class:`~.ematch.Matcher` deduplicates
+    ``match_anywhere`` results (one of this PR-era engine's fixes); the
+    old engine did not, and its cost profile depended on re-expanding
+    every duplicate through the query join, so the frozen copy lives
+    here.
+    """
+
+    def __init__(self, egraph: EGraph) -> None:
+        self.egraph = egraph
+        self.index = egraph.nodes_by_head()
+
+    def match_in_class(
+        self, pattern: Pattern, eclass_id: int, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        egraph = self.egraph
+        eclass_id = egraph.find(eclass_id)
+        if isinstance(pattern, PVar):
+            bound = bindings.get(pattern.name)
+            if bound is not None:
+                if egraph.find(bound) == eclass_id:
+                    yield bindings
+                return
+            new = dict(bindings)
+            new[pattern.name] = eclass_id
+            yield new
+            return
+        if isinstance(pattern, PLit):
+            value = egraph.literal_value(eclass_id)
+            if value is not None and value == pattern.value:
+                yield bindings
+            return
+        for node in list(egraph.nodes_of(eclass_id)):
+            if node.head != pattern.head or len(node.args) != len(pattern.args):
+                continue
+            yield from self._match_args(pattern.args, node.args, bindings, 0)
+
+    def _match_args(self, patterns, arg_ids, bindings, i) -> Iterator[Bindings]:
+        if i == len(patterns):
+            yield bindings
+            return
+        for partial in self.match_in_class(patterns[i], arg_ids[i], bindings):
+            yield from self._match_args(patterns, arg_ids, partial, i + 1)
+
+    def match_anywhere(
+        self, pattern: Pattern, bindings: Bindings
+    ) -> Iterator[tuple]:
+        if isinstance(pattern, PVar) and pattern.name in bindings:
+            root = self.egraph.find(bindings[pattern.name])
+            yield root, bindings
+            return
+        if isinstance(pattern, PApp):
+            for eclass_id, _node in self.index.get(pattern.head, ()):  # noqa: B007
+                eclass_id = self.egraph.find(eclass_id)
+                for out in self.match_in_class(pattern, eclass_id, bindings):
+                    yield eclass_id, out
+            return
+        for eclass_id in self.egraph.eclass_ids():
+            if eclass_id not in self.egraph.classes:
+                continue
+            for out in self.match_in_class(pattern, eclass_id, bindings):
+                yield self.egraph.find(eclass_id), out
+
+
+def _match_query(
+    matcher: LegacyMatcher, atoms: Sequence[Atom], bindings: Bindings, i: int
+) -> Iterator[Bindings]:
+    if i == len(atoms):
+        yield bindings
+        return
+    atom = atoms[i]
+    egraph = matcher.egraph
+    if isinstance(atom, TermAtom):
+        for eclass_id, partial in matcher.match_anywhere(atom.pattern, bindings):
+            if atom.var is not None:
+                bound = partial.get(atom.var)
+                if bound is not None and egraph.find(bound) != eclass_id:
+                    continue
+                partial = dict(partial)
+                partial[atom.var] = eclass_id
+            yield from _match_query(matcher, atoms, partial, i + 1)
+        return
+    if isinstance(atom, RelAtom):
+        for row in list(egraph.facts(atom.name)):
+            if len(row) != len(atom.args):
+                continue
+            for partial in _match_row(matcher, atom.args, row, bindings, 0):
+                yield from _match_query(matcher, atoms, partial, i + 1)
+        return
+    if isinstance(atom, GuardAtom):
+        for partial in _eval_guard(matcher, atom, bindings):
+            yield from _match_query(matcher, atoms, partial, i + 1)
+        return
+    raise MatchError(f"unknown atom {atom!r}")
+
+
+def _match_row(
+    matcher: LegacyMatcher, patterns, row, bindings: Bindings, i: int
+) -> Iterator[Bindings]:
+    if i == len(patterns):
+        yield bindings
+        return
+    value = row[i]
+    if not isinstance(value, int):
+        raise MatchError(f"relation row holds non-eclass value {value!r}")
+    for partial in matcher.match_in_class(patterns[i], value, bindings):
+        yield from _match_row(matcher, patterns, row, partial, i + 1)
+
+
+def _eval_guard(
+    matcher: LegacyMatcher, atom: GuardAtom, bindings: Bindings
+) -> Iterator[Bindings]:
+    egraph = matcher.egraph
+    if atom.op == "=":
+        lhs, rhs = atom.args
+        lhs_value = eval_value(egraph, lhs, bindings)
+        rhs_value = eval_value(egraph, rhs, bindings)
+        if lhs_value is not None and rhs_value is not None:
+            if lhs_value == rhs_value:
+                yield bindings
+            return
+        # one side unbound variable: bind it to the computed literal
+        for unbound, value in ((lhs, rhs_value), (rhs, lhs_value)):
+            if (
+                isinstance(unbound, PVar)
+                and unbound.name not in bindings
+                and value is not None
+            ):
+                kind = "i64" if isinstance(value, int) else "f64"
+                new = dict(bindings)
+                new[unbound.name] = egraph.add_literal(kind, value)
+                yield new
+                return
+        # fall back to e-class equality for bound, non-literal vars
+        if isinstance(lhs, PVar) and isinstance(rhs, PVar):
+            a, b = bindings.get(lhs.name), bindings.get(rhs.name)
+            if a is not None and b is not None and egraph.find(a) == egraph.find(b):
+                yield bindings
+            return
+        return
+    values = [eval_value(egraph, a, bindings) for a in atom.args]
+    if any(v is None for v in values):
+        return
+    a, b = values
+    ok = {
+        ">": a > b,
+        "<": a < b,
+        ">=": a >= b,
+        "<=": a <= b,
+        "!=": a != b,
+    }[atom.op]
+    if ok:
+        yield bindings
+
+
+def legacy_find_matches(matcher: LegacyMatcher, rule: Rule) -> List[Bindings]:
+    return list(_match_query(matcher, rule.query, {}, 0))
+
+
+def legacy_run_rules(
+    egraph: EGraph, rules: Sequence[Rule], iterations: int = 1
+) -> RunStats:
+    """Run ``iterations`` rounds: match all rules, apply, rebuild."""
+    stats = RunStats()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        stats.iterations += 1
+        version_before = egraph.version
+        t_match = time.perf_counter()
+        matcher = LegacyMatcher(egraph)
+        pending: List[Tuple[Rule, Bindings]] = []
+        for rule in rules:
+            found = legacy_find_matches(matcher, rule)
+            stats.matches_per_rule[rule.name] = (
+                stats.matches_per_rule.get(rule.name, 0) + len(found)
+            )
+            pending.extend((rule, b) for b in found)
+        stats.total_matches += len(pending)
+        stats.full_rounds += 1
+        t_apply = time.perf_counter()
+        stats.match_seconds += t_apply - t_match
+        for rule, bindings in pending:
+            apply_actions(egraph, rule, bindings)
+        t_rebuild = time.perf_counter()
+        stats.apply_seconds += t_rebuild - t_apply
+        egraph.rebuild()
+        stats.rebuild_seconds += time.perf_counter() - t_rebuild
+        if egraph.version == version_before:
+            stats.saturated = True
+            break
+    stats.seconds = time.perf_counter() - start
+    return stats
+
+
+def legacy_saturate(
+    egraph: EGraph, rules: Sequence[Rule], max_iterations: int = 64
+) -> RunStats:
+    """Run until no rule changes the e-graph (or the iteration cap)."""
+    return legacy_run_rules(egraph, rules, iterations=max_iterations)
+
+
+def legacy_run_phased(
+    egraph: EGraph,
+    main_rules: Sequence[Rule],
+    supporting_rules: Sequence[Rule],
+    iterations: int = 4,
+    saturate_limit: int = 64,
+) -> ScheduleStats:
+    """The paper's schedule on the legacy engine (full re-match per round)."""
+    stats = ScheduleStats()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        stats.outer_iterations += 1
+        stats.supporting_stats.append(
+            legacy_saturate(egraph, supporting_rules, max_iterations=saturate_limit)
+        )
+        version_before = egraph.version
+        stats.main_stats.append(
+            legacy_run_rules(egraph, main_rules, iterations=1)
+        )
+        if egraph.version == version_before:
+            stats.saturated = True
+            break
+    # a final supporting pass so analyses cover the last main-rule output
+    stats.supporting_stats.append(
+        legacy_saturate(egraph, supporting_rules, max_iterations=saturate_limit)
+    )
+    stats.seconds = time.perf_counter() - start
+    return stats

@@ -15,16 +15,42 @@ Actions: ``LetAction`` (bind a constructed term), ``UnionAction``,
 
 Rules can be written programmatically or parsed from egglog-ish text via
 :func:`parse_program`.
+
+Saturation runs on :class:`RuleEngine`: each rule's query is compiled
+once to a flat register program (:mod:`.ematch`), matched either against
+the e-graph's persistent head index (full pass) or against only the
+classes dirtied since the rule's last pass (delta pass, exact for rules
+that pass the static safety analysis).  Matches are deduplicated on
+canonical variable bindings before application, and a
+:class:`BackoffScheduler` temporarily banishes rules whose match counts
+explode (egg's backoff design).  The engine is persistent: keeping one
+engine across calls (as ``run_phased`` does) carries the watermarks and
+dedup tables forward, so later passes only pay for what changed.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from .egraph import EGraph
-from .ematch import Bindings, MatchError, Matcher, eval_value, instantiate
+from .ematch import (
+    OP_SCAN,
+    Bindings,
+    BoundExecutor,
+    CompiledQuery,
+    MatchError,
+    Matcher,
+    _RegView,
+    compile_query,
+    delta_scan_source,
+    eval_value,
+    full_scan_source,
+    instantiate,
+    run_query,
+)
+from .language import ENode
 from .pattern import PRIMITIVE_OPS, PApp, PLit, Pattern, PVar, parse_pattern
 from .sexpr import parse_all
 
@@ -82,6 +108,22 @@ class Rule:
     def __str__(self) -> str:
         return f"<rule {self.name}: {len(self.query)} atoms>"
 
+    def compiled(self) -> CompiledQuery:
+        """The query lowered to a register program (cached per rule)."""
+        program = self.__dict__.get("_compiled")
+        if program is None:
+            program = compile_query(self.query)
+            self.__dict__["_compiled"] = program
+        return program
+
+    def compiled_actions(self) -> "CompiledActions":
+        """The actions lowered against the query's slots (cached)."""
+        actions = self.__dict__.get("_compiled_actions")
+        if actions is None:
+            actions = CompiledActions(self, self.compiled())
+            self.__dict__["_compiled_actions"] = actions
+        return actions
+
 
 def rewrite(
     name: str, lhs: Pattern, rhs: Pattern, when: Sequence[Atom] = ()
@@ -98,109 +140,20 @@ def rewrite(
     return Rule(name, query, [UnionAction(root, rhs)])
 
 
-# -- matching a whole query ---------------------------------------------------
-
-
-def _match_query(
-    matcher: Matcher, atoms: Sequence[Atom], bindings: Bindings, i: int
-) -> Iterator[Bindings]:
-    if i == len(atoms):
-        yield bindings
-        return
-    atom = atoms[i]
-    egraph = matcher.egraph
-    if isinstance(atom, TermAtom):
-        for eclass_id, partial in matcher.match_anywhere(atom.pattern, bindings):
-            if atom.var is not None:
-                bound = partial.get(atom.var)
-                if bound is not None and egraph.find(bound) != eclass_id:
-                    continue
-                partial = dict(partial)
-                partial[atom.var] = eclass_id
-            yield from _match_query(matcher, atoms, partial, i + 1)
-        return
-    if isinstance(atom, RelAtom):
-        for row in list(egraph.facts(atom.name)):
-            if len(row) != len(atom.args):
-                continue
-            for partial in _match_row(matcher, atom.args, row, bindings, 0):
-                yield from _match_query(matcher, atoms, partial, i + 1)
-        return
-    if isinstance(atom, GuardAtom):
-        for partial in _eval_guard(matcher, atom, bindings):
-            yield from _match_query(matcher, atoms, partial, i + 1)
-        return
-    raise MatchError(f"unknown atom {atom!r}")
-
-
-def _match_row(
-    matcher: Matcher, patterns, row, bindings: Bindings, i: int
-) -> Iterator[Bindings]:
-    if i == len(patterns):
-        yield bindings
-        return
-    value = row[i]
-    if not isinstance(value, int):
-        raise MatchError(f"relation row holds non-eclass value {value!r}")
-    for partial in matcher.match_in_class(patterns[i], value, bindings):
-        yield from _match_row(matcher, patterns, row, partial, i + 1)
-
-
-def _eval_guard(
-    matcher: Matcher, atom: GuardAtom, bindings: Bindings
-) -> Iterator[Bindings]:
-    egraph = matcher.egraph
-    if atom.op == "=":
-        lhs, rhs = atom.args
-        lhs_value = eval_value(egraph, lhs, bindings)
-        rhs_value = eval_value(egraph, rhs, bindings)
-        if lhs_value is not None and rhs_value is not None:
-            if lhs_value == rhs_value:
-                yield bindings
-            return
-        # one side unbound variable: bind it to the computed literal
-        for unbound, value in ((lhs, rhs_value), (rhs, lhs_value)):
-            if (
-                isinstance(unbound, PVar)
-                and unbound.name not in bindings
-                and value is not None
-            ):
-                kind = "i64" if isinstance(value, int) else "f64"
-                new = dict(bindings)
-                new[unbound.name] = egraph.add_literal(kind, value)
-                yield new
-                return
-        # fall back to e-class equality for bound, non-literal vars
-        if isinstance(lhs, PVar) and isinstance(rhs, PVar):
-            a, b = bindings.get(lhs.name), bindings.get(rhs.name)
-            if a is not None and b is not None and egraph.find(a) == egraph.find(b):
-                yield bindings
-            return
-        return
-    values = [eval_value(egraph, a, bindings) for a in atom.args]
-    if any(v is None for v in values):
-        return
-    a, b = values
-    ok = {
-        ">": a > b,
-        "<": a < b,
-        ">=": a >= b,
-        "<=": a <= b,
-        "!=": a != b,
-    }[atom.op]
-    if ok:
-        yield bindings
-
-
 def find_matches(matcher: Matcher, rule: Rule) -> List[Bindings]:
-    return list(_match_query(matcher, rule.query, {}, 0))
+    """All distinct binding sets for one rule (a full pass)."""
+    return run_query(matcher.egraph, rule.compiled())
 
 
 # -- applying actions ----------------------------------------------------------
 
 
 def apply_actions(egraph: EGraph, rule: Rule, bindings: Bindings) -> None:
-    env = dict(bindings)
+    _apply_actions_env(egraph, rule, dict(bindings))
+
+
+def _apply_actions_env(egraph: EGraph, rule: Rule, env: Bindings) -> None:
+    """Apply actions into ``env`` directly (the caller owns the dict)."""
     for action in rule.actions:
         if isinstance(action, LetAction):
             env[action.name] = instantiate(egraph, action.pattern, env)
@@ -215,49 +168,412 @@ def apply_actions(egraph: EGraph, rule: Rule, bindings: Bindings) -> None:
             raise MatchError(f"unknown action {action!r}")
 
 
+class CompiledActions:
+    """A rule's actions lowered against its query's register slots.
+
+    Instead of instantiating action patterns by recursive dispatch over a
+    bindings dict per match, the engine snapshots the matcher's register
+    array and runs these pre-built closures over it.  Let-bound names get
+    slots past the query's registers.  The closures take the e-graph as
+    an argument, so one compilation (cached on the rule) serves every
+    engine and e-graph.
+    """
+
+    __slots__ = ("extra_slots", "_steps")
+
+    def __init__(self, rule: Rule, program: CompiledQuery) -> None:
+        slot_map = dict(program.var_slots)
+        n_regs = max(program.n_regs, 1)
+        extra = 0
+
+        def build(pattern: Pattern):
+            if isinstance(pattern, PVar):
+                slot = slot_map.get(pattern.name)
+                if slot is None:
+                    raise MatchError(
+                        f"unbound variable {pattern.name!r} in action"
+                    )
+                return lambda eg, env, slot=slot: eg.find(env[slot])
+            if isinstance(pattern, PLit):
+                kind, value = pattern.kind, pattern.value
+                return lambda eg, env: eg.add_literal(kind, value)
+            if pattern.head in PRIMITIVE_OPS:
+                view_map = dict(slot_map)
+
+                def prim(eg, env, pattern=pattern, view_map=view_map):
+                    value = eval_value(eg, pattern, _RegView(view_map, env))
+                    if value is None:
+                        raise MatchError(
+                            f"cannot evaluate primitive {pattern} —"
+                            f" non-literal operand"
+                        )
+                    kind = "i64" if isinstance(value, int) else "f64"
+                    return eg.add_literal(kind, value)
+
+                return prim
+            head = pattern.head
+            children = tuple(build(a) for a in pattern.args)
+            return lambda eg, env: eg.add_node(
+                ENode(head, tuple([c(eg, env) for c in children]))
+            )
+
+        steps = []
+        for action in rule.actions:
+            if isinstance(action, LetAction):
+                builder = build(action.pattern)
+                slot = n_regs + extra
+                extra += 1
+                slot_map[action.name] = slot
+
+                def step(eg, env, builder=builder, slot=slot):
+                    env[slot] = builder(eg, env)
+
+            elif isinstance(action, UnionAction):
+                build_a = build(action.a)
+                build_b = build(action.b)
+
+                def step(eg, env, build_a=build_a, build_b=build_b):
+                    eg.union(build_a(eg, env), build_b(eg, env))
+
+            elif isinstance(action, FactAction):
+                builders = tuple(build(p) for p in action.args)
+                name = action.name
+
+                def step(eg, env, builders=builders, name=name):
+                    eg.assert_fact(
+                        name, tuple([b(eg, env) for b in builders])
+                    )
+
+            else:
+                raise MatchError(f"unknown action {action!r}")
+            steps.append(step)
+        self.extra_slots = extra
+        self._steps = tuple(steps)
+
+    def run(self, egraph: EGraph, snapshot: List[int]) -> None:
+        env = snapshot + [0] * self.extra_slots if self.extra_slots else snapshot
+        for step in self._steps:
+            step(egraph, env)
+
+
 @dataclass
 class RunStats:
     iterations: int = 0
+    #: distinct (post-dedup) matches applied
     total_matches: int = 0
     seconds: float = 0.0
     saturated: bool = False
     matches_per_rule: Dict[str, int] = field(default_factory=dict)
+    # -- timing breakdown ---------------------------------------------------
+    match_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
+    # -- engine counters ----------------------------------------------------
+    #: rounds that matched only against the dirty closure
+    delta_rounds: int = 0
+    #: rounds that matched against the full graph
+    full_rounds: int = 0
+    #: duplicate matches dropped before application
+    dedup_dropped: int = 0
+    #: rule name -> rounds skipped while banned by the backoff scheduler
+    banned_rounds: Dict[str, int] = field(default_factory=dict)
+
+
+class BackoffScheduler:
+    """egg-style rule backoff: rules whose per-round match count exceeds
+    an exponentially growing threshold are banished for an exponentially
+    growing number of rounds.
+
+    The default ``match_limit`` is generous on purpose: backoff should
+    only engage on genuinely exploding rules, never change results on
+    well-behaved workloads (a banished rule's matches are recovered after
+    the ban because the engine's per-rule watermarks are left untouched
+    while it sleeps).
+    """
+
+    def __init__(self, match_limit: int = 4096, ban_length: int = 4) -> None:
+        self.match_limit = match_limit
+        self.ban_length = ban_length
+        self._banned_until: Dict[int, int] = {}
+        self._times_banned: Dict[int, int] = {}
+
+    def banned(self, rule_index: int, round_index: int) -> bool:
+        return round_index < self._banned_until.get(rule_index, -1)
+
+    def record(self, rule_index: int, n_matches: int, round_index: int) -> bool:
+        """Record a rule's match count; True if the rule is banned now
+        (its matches this round must be dropped, to be rediscovered after
+        the ban)."""
+        times = self._times_banned.get(rule_index, 0)
+        threshold = self.match_limit << times
+        if n_matches > threshold:
+            ban = self.ban_length << times
+            self._times_banned[rule_index] = times + 1
+            self._banned_until[rule_index] = round_index + 1 + ban
+            return True
+        return False
+
+    def any_banned(self, round_index: int) -> bool:
+        return any(
+            round_index < until for until in self._banned_until.values()
+        )
+
+    def unban_all(self) -> None:
+        self._banned_until.clear()
+
+
+class RuleEngine:
+    """Incremental saturation engine over one e-graph and one rule set.
+
+    Persistent across :meth:`run` calls: per-rule dirty-log cursors make
+    later passes delta passes, and per-rule dedup tables stop already
+    applied matches from being re-applied.  A fresh engine's cursors
+    start at zero, which makes its first pass equivalent to a full pass
+    (the dirty log reaches back to the e-graph's birth).
+    """
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        rules: Sequence[Rule],
+        scheduler: Optional[BackoffScheduler] = None,
+        use_delta: bool = True,
+    ) -> None:
+        self.egraph = egraph
+        self.rules = list(rules)
+        self.programs = [rule.compiled() for rule in self.rules]
+        #: built lazily — most rules never survive the head fast path
+        self.executors: List[Optional[BoundExecutor]] = [None] * len(
+            self.programs
+        )
+        self.actions = [rule.compiled_actions() for rule in self.rules]
+        self.scheduler = scheduler
+        self.use_delta = use_delta
+        self.cursors = [0] * len(self.rules)
+        self.seen: List[Set[tuple]] = [set() for _ in self.rules]
+        self.round = 0
+        #: deepest closure any delta-safe rule needs (caps the BFS)
+        self.max_depth = max(
+            (p.depth for p in self.programs if p.delta_safe), default=1
+        )
+        #: delta-safe rules grouped by their root scan head, plus the
+        #: rules that must match fully every round
+        self._by_head: Dict[object, List[int]] = {}
+        self._full_only: List[int] = []
+        for idx, program in enumerate(self.programs):
+            first = program.instructions[0]
+            if use_delta and program.delta_safe and first[0] == OP_SCAN:
+                self._by_head.setdefault(first[2], []).append(idx)
+            else:
+                self._full_only.append(idx)
+        self._full_only_set = set(self._full_only)
+
+    def run(self, iterations: int = 1) -> RunStats:
+        """Run up to ``iterations`` match-apply-rebuild rounds."""
+        egraph = self.egraph
+        find = egraph.find
+        full_source = full_scan_source(egraph)
+        stats = RunStats()
+        start = time.perf_counter()
+        if egraph.worklist or egraph._stale_ids:
+            # a caller unioned without rebuilding: restore congruence
+            # (and the reverse relation index the compiled joins read)
+            # before matching
+            egraph.rebuild()
+        for _ in range(iterations):
+            stats.iterations += 1
+            version_before = egraph.version
+            log_end = egraph.dirty_cursor()
+            t_match = time.perf_counter()
+
+            # delta sources shared by rules at the same watermark
+            sources: Dict[int, object] = {}
+
+            def source_for(cursor: int):
+                src = sources.get(cursor)
+                if src is None:
+                    closure = egraph.dirty_closure(
+                        cursor, log_end, self.max_depth
+                    )
+                    src = delta_scan_source(egraph, closure)
+                    sources[cursor] = src
+                return src
+
+            #: (rule index, register snapshot) per accepted match
+            pending: List[Tuple[int, List[int]]] = []
+            used_delta = False
+            banned_this_round = False
+
+            # fast path: when every rule is at the same watermark and no
+            # bans are active, one delta plan names the only rules that
+            # can have new matches; everyone else's watermark advances
+            # without even being visited
+            plan_set = None
+            cursors = self.cursors
+            if (
+                self._by_head
+                and cursors[0] > 0
+                and (
+                    self.scheduler is None
+                    or not self.scheduler.any_banned(self.round)
+                )
+                and min(cursors) == max(cursors)
+            ):
+                delta_source = source_for(cursors[0])
+                plan = delta_source.rule_plan(self._by_head, self.programs)
+                plan_set = set(plan)
+                delta_source.prepare(
+                    {self.programs[i].instructions[0][2] for i in plan}
+                )
+                rule_indices = plan + self._full_only
+            else:
+                rule_indices = range(len(self.rules))
+
+            for idx in rule_indices:
+                rule = self.rules[idx]
+                program = self.programs[idx]
+                if self.scheduler is not None and self.scheduler.banned(
+                    idx, self.round
+                ):
+                    banned_this_round = True
+                    stats.banned_rounds[rule.name] = (
+                        stats.banned_rounds.get(rule.name, 0) + 1
+                    )
+                    continue
+                if plan_set is not None:
+                    if idx in self._full_only_set:
+                        delta = False
+                        root_source = full_source
+                        first = program.instructions[0]
+                        if first[0] == OP_SCAN and not egraph.head_entries(
+                            first[2]
+                        ):
+                            self.cursors[idx] = log_end
+                            continue
+                    else:
+                        delta = True
+                        used_delta = True
+                        root_source = delta_source.at_depth(program.depth)
+                else:
+                    cursor = self.cursors[idx]
+                    delta = (
+                        self.use_delta and program.delta_safe and cursor > 0
+                    )
+                    if delta:
+                        used_delta = True
+                        delta_source = source_for(cursor)
+                        # no candidate with the root's head within this
+                        # rule's depth: it cannot have new matches — just
+                        # advance the watermark
+                        first = program.instructions[0]
+                        min_level = delta_source.min_level(first[2])
+                        if min_level is None or min_level > program.depth:
+                            self.cursors[idx] = log_end
+                            continue
+                        root_source = delta_source.at_depth(program.depth)
+                    else:
+                        root_source = full_source
+                        first = program.instructions[0]
+                        if first[0] == OP_SCAN and not egraph.head_entries(
+                            first[2]
+                        ):
+                            self.cursors[idx] = log_end
+                            continue
+
+                seen = self.seen[idx]
+                key_slots = program.key_slots
+                new_matches: List[Tuple[tuple, List[int]]] = []
+                round_keys: Set[tuple] = set()
+                dropped = 0
+
+                def on_match(regs):
+                    nonlocal dropped
+                    key = tuple([find(regs[s]) for s in key_slots])
+                    if key in seen or key in round_keys:
+                        dropped += 1
+                        return
+                    round_keys.add(key)
+                    new_matches.append((key, regs[:]))
+
+                executor = self.executors[idx]
+                if executor is None:
+                    executor = self.executors[idx] = BoundExecutor(
+                        program, egraph
+                    )
+                executor.run(root_source, on_match)
+                stats.dedup_dropped += dropped
+                if self.scheduler is not None and self.scheduler.record(
+                    idx, len(new_matches), self.round
+                ):
+                    # banned: drop this round's matches and freeze the
+                    # watermark so they are rediscovered after the ban
+                    banned_this_round = True
+                    stats.banned_rounds[rule.name] = (
+                        stats.banned_rounds.get(rule.name, 0) + 1
+                    )
+                    continue
+                self.cursors[idx] = log_end
+                if new_matches:
+                    seen.update(round_keys)
+                    pending.extend(
+                        (idx, snapshot) for _, snapshot in new_matches
+                    )
+                    stats.matches_per_rule[rule.name] = (
+                        stats.matches_per_rule.get(rule.name, 0)
+                        + len(new_matches)
+                    )
+            if plan_set is not None:
+                # rules outside the plan saw nothing new in this window
+                for idx in range(len(self.rules)):
+                    if idx not in plan_set and idx not in self._full_only_set:
+                        self.cursors[idx] = log_end
+                used_delta = True
+            if used_delta:
+                stats.delta_rounds += 1
+            else:
+                stats.full_rounds += 1
+            stats.total_matches += len(pending)
+            t_apply = time.perf_counter()
+            stats.match_seconds += t_apply - t_match
+            actions = self.actions
+            for idx, snapshot in pending:
+                actions[idx].run(egraph, snapshot)
+            t_rebuild = time.perf_counter()
+            stats.apply_seconds += t_rebuild - t_apply
+            egraph.rebuild()
+            stats.rebuild_seconds += time.perf_counter() - t_rebuild
+            self.round += 1
+            if egraph.version == version_before:
+                if banned_this_round and self.scheduler is not None:
+                    # saturated only because rules slept: wake them up
+                    self.scheduler.unban_all()
+                    continue
+                stats.saturated = True
+                break
+        stats.seconds = time.perf_counter() - start
+        return stats
 
 
 def run_rules(
-    egraph: EGraph, rules: Sequence[Rule], iterations: int = 1
+    egraph: EGraph,
+    rules: Sequence[Rule],
+    iterations: int = 1,
+    scheduler: Optional[BackoffScheduler] = None,
 ) -> RunStats:
     """Run ``iterations`` rounds: match all rules, apply, rebuild."""
-    stats = RunStats()
-    start = time.perf_counter()
-    for _ in range(iterations):
-        stats.iterations += 1
-        version_before = egraph.version
-        matcher = Matcher(egraph)
-        pending: List[Tuple[Rule, Bindings]] = []
-        for rule in rules:
-            found = find_matches(matcher, rule)
-            stats.matches_per_rule[rule.name] = (
-                stats.matches_per_rule.get(rule.name, 0) + len(found)
-            )
-            pending.extend((rule, b) for b in found)
-        stats.total_matches += len(pending)
-        for rule, bindings in pending:
-            apply_actions(egraph, rule, bindings)
-        egraph.rebuild()
-        if egraph.version == version_before:
-            stats.saturated = True
-            break
-    stats.seconds = time.perf_counter() - start
-    return stats
+    return RuleEngine(egraph, rules, scheduler=scheduler).run(iterations)
 
 
 def saturate(
-    egraph: EGraph, rules: Sequence[Rule], max_iterations: int = 64
+    egraph: EGraph,
+    rules: Sequence[Rule],
+    max_iterations: int = 64,
+    scheduler: Optional[BackoffScheduler] = None,
 ) -> RunStats:
     """Run until no rule changes the e-graph (or the iteration cap)."""
-    stats = run_rules(egraph, rules, iterations=max_iterations)
-    return stats
+    if scheduler is None:
+        scheduler = BackoffScheduler()
+    return RuleEngine(egraph, rules, scheduler=scheduler).run(max_iterations)
 
 
 # -- parsing egglog-ish rule text ------------------------------------------------

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..eqsat import EGraph, extract_best, run_phased
@@ -81,6 +82,13 @@ class SelectionReport:
     selections: List[StoreSelection] = field(default_factory=list)
     eqsat_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: saturation-phase breakdown summed over stores (match/apply/rebuild
+    #: seconds plus round and match counters) — see ScheduleStats.profile
+    eqsat_profile: Dict[str, float] = field(default_factory=dict)
+
+    def _merge_profile(self, profile: Dict[str, float]) -> None:
+        for key, value in profile.items():
+            self.eqsat_profile[key] = self.eqsat_profile.get(key, 0) + value
 
     @property
     def num_mapped(self) -> int:
@@ -128,11 +136,18 @@ class _AccelLoadWrapper(IRMutator):
         return node
 
 
+@lru_cache(maxsize=None)
 def _rules_for(kind: str):
+    """(main rules, supporting rules) for one accelerator kind.
+
+    Cached: the rule objects carry their compiled query/action programs
+    (see ``eqsat.rules.Rule.compiled``), so sharing them across stores
+    means each rule is lowered exactly once per process.
+    """
     ax_rules, _ = axiomatic_rules()
     sup_rules, _ = supporting_rules()
     app_rules, _ = amx_rules() if kind == "amx" else wmma_rules()
-    return list(ax_rules) + list(app_rules), list(sup_rules)
+    return tuple(ax_rules) + tuple(app_rules), tuple(sup_rules)
 
 
 class TileExtractor:
@@ -203,18 +218,29 @@ class TileExtractor:
             )
         return kinds.pop() if kinds else None
 
-    def select_store(self, store: Store) -> Tuple[Stmt, StoreSelection]:
+    def prepare_store(self, store: Store) -> Optional[Tuple[str, Store]]:
+        """Movement-marker injection for one store: ``(kind, wrapped)``.
+
+        Exposed separately so benchmarks can saturate the exact same
+        wrapped stores through different engines.
+        """
         kind = self.store_kind(store)
         if kind is None:
-            return store, None
-        # 1. inject data movement markers
+            return None
         value = _AccelLoadWrapper(self.memory_of).mutate(store.value)
         if (
             self.memory_of.get(store.name, MemoryType.HEAP)
             in _KIND_BY_MEMORY
         ):
             value = movement_wrapper(_WRAP_IN[kind], value)
-        wrapped = Store(store.name, store.index, value)
+        return kind, Store(store.name, store.index, value)
+
+    def select_store(self, store: Store) -> Tuple[Stmt, StoreSelection]:
+        # 1. inject data movement markers
+        prepared = self.prepare_store(store)
+        if prepared is None:
+            return store, None
+        kind, wrapped = prepared
 
         # 2. equality saturation
         start = time.perf_counter()
@@ -228,6 +254,7 @@ class TileExtractor:
         best = extract_best(egraph, root, hardboiled_cost_model())
         seconds = time.perf_counter() - start
         self.report.eqsat_seconds += seconds
+        self.report._merge_profile(stats.profile())
 
         mapped = not contains_movement(best, kind)
         if mapped:

@@ -20,7 +20,7 @@ from ..frontend.func import Func, ImageParam
 from ..hardboiled import SelectionReport, select_instructions
 from ..lowering import lower
 from ..runtime import Counters
-from ..runtime.executor import CompiledPipeline
+from ..runtime.executor import CompiledPipeline, _check_backend
 
 
 @dataclass
@@ -44,6 +44,14 @@ class App:
     _report: Optional[SelectionReport] = None
 
     def compile(self) -> CompiledPipeline:
+        if (
+            self._pipeline is not None
+            and self._pipeline.backend != self.backend
+        ):
+            # the backend was mutated after the first compile():
+            # retarget the existing pipeline (validating the name)
+            # instead of silently keeping the stale backend
+            self._pipeline.backend = _check_backend(self.backend)
         if self._pipeline is None:
             lowered = lower(self.output)
             if self.variant == "tensor":

@@ -124,6 +124,115 @@ def build(
     )
 
 
+# -- quantized int8 variant on the dp4a target ---------------------------------
+
+INT8_CHANNELS = 64  # the dp4a macro-tile reduction depth
+CO_TILE = 16
+
+
+def reference_conv_layer_int8(
+    image: np.ndarray, weights: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """image: (y, x, ci) int8; weights: (dy, dx, ci, co); bias: (co,) i32.
+
+    Exact int32 accumulation followed by bias add and ReLU — the
+    quantized-inference convolution epilogue.
+    """
+    img = image.astype(np.int32)
+    w = weights.astype(np.int32)
+    out_h = img.shape[0] - KERNEL + 1
+    out_w = img.shape[1] - KERNEL + 1
+    co = w.shape[3]
+    out = np.zeros((out_h, out_w, co), dtype=np.int32)
+    for dy in range(KERNEL):
+        for dx in range(KERNEL):
+            patch = img[dy : dy + out_h, dx : dx + out_w, :]
+            out += patch @ w[dy, dx]
+    out += bias.astype(np.int32)
+    return np.maximum(out, 0)
+
+
+def build_int8(
+    width: int = 32, rows: int = 2, seed: int = 13
+) -> App:
+    """Quantized conv layer: 64 int8 input channels -> 64 channels.
+
+    Per (dx, dy) tap the channel reduction is an m16n16k64 int8 GEMM,
+    so the dp4a lowering rule fires once per tap per (co, x) tile; the
+    int32 bias + ReLU epilogue reads the accumulator pointwise through
+    the (legal) ``DP4A2Mem`` marker, exactly as the fp16 variant's
+    epilogue reads WMMA fragments.
+    """
+    channels = INT8_CHANNELS
+    if width % TILE != 0:
+        raise ValueError(f"width must be a multiple of {TILE}")
+
+    I = hl.ImageParam(hl.Int(8), 3, name="Iq")
+    W = hl.ImageParam(hl.Int(8), 4, name="Wq")
+    Bias = hl.ImageParam(hl.Int(32), 1, name="BiasQ")
+    co, x, y = hl.Var("co"), hl.Var("x"), hl.Var("y")
+    xi, coi, rci = hl.Var("xi"), hl.Var("coi"), hl.Var("rci")
+    r = hl.RDom(
+        [(0, channels), (0, KERNEL), (0, KERNEL)], name="rql"
+    )  # (ci, dx, dy)
+    f = hl.Func("convlayer_q")
+    out = hl.Func("convlayer_q_relu")
+    f[co, x, y] = 0
+    f[co, x, y] += hl.i32(I[r.x, x + r.y, y + r[2]]) * hl.i32(
+        W[co, r.x, r.y, r[2]]
+    )
+    out[co, x, y] = hl.maximum(f[co, x, y] + Bias[co], 0)
+    out.bound(co, 0, channels).bound(x, 0, width).bound(y, 0, rows)
+
+    out.split(x, x, xi, TILE).split(co, co, coi, CO_TILE).reorder(
+        coi, xi, co, x, y
+    ).vectorize(coi).vectorize(xi).gpu_blocks(x, y)
+    f.compute_at(out, "x")
+    f.store_in(hl.MemoryType.DP4A_ACCUMULATOR)
+    # co spans four 16-wide tiles, so the vectorized pair must be
+    # reordered innermost explicitly (the fp16 variant's co fits one
+    # tile and needs no reorder)
+    fcoi, fxi = hl.Var("fcoi"), hl.Var("fxi")
+    f.split(co, co, fcoi, CO_TILE).split(x, x, fxi, TILE).reorder(
+        fcoi, fxi, co, x, y
+    ).vectorize(fcoi).vectorize(fxi)
+    f.update().split("rql.x", "rql.x", rci, channels).split(
+        co, co, coi, CO_TILE
+    ).split(x, x, xi, TILE).reorder(
+        rci, coi, xi, "rql.x", co, x, "rql.y", "rql.z"
+    ).atomic().vectorize(rci).vectorize(coi).vectorize(xi)
+
+    rng = np.random.default_rng(seed)
+    image_yxc = rng.integers(
+        -128, 128, size=(rows + KERNEL, width + KERNEL + TILE, channels),
+        dtype=np.int8,
+    )
+    weights_yxio = rng.integers(
+        -128, 128, size=(KERNEL, KERNEL, channels, channels), dtype=np.int8
+    )
+    bias = rng.integers(-(2**15), 2**15, size=channels, dtype=np.int32)
+    inputs = {I: image_yxc, W: weights_yxio, Bias: bias}
+
+    def reference():
+        ref = reference_conv_layer_int8(image_yxc, weights_yxio, bias)
+        return ref[:rows, :width, :]
+
+    full_work = FULL_BATCH * FULL_H * FULL_W
+    return App(
+        name="conv_layer_int8",
+        variant="tensor",
+        output=out,
+        inputs=inputs,
+        reference=reference,
+        scale_factor=full_work / (rows * width),
+        kernels=1,
+        description=(
+            f"quantized conv layer {KERNEL}x{KERNEL}, {channels} int8"
+            " channels, fused i32 bias+ReLU on dp4a"
+        ),
+    )
+
+
 def theoretical_macs(channels: int) -> int:
     return FULL_BATCH * FULL_H * FULL_W * KERNEL * KERNEL * channels * channels
 

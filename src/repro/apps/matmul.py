@@ -1,12 +1,14 @@
 """GEMM (paper §III walkthrough and §IV robustness/performance).
 
-Two flavours:
+Three flavours:
 
 * :func:`build` — fp16 GEMM on Tensor Cores (m16n16k16 tiles), the
   Fig. 4 workload.
 * :func:`build_amx` — bf16 GEMM on (simulated) Intel AMX, parametrized
   by the schedule variants of Intel's Optimization Reference Manual for
   the Table I robustness study.
+* :func:`build_int8` — quantized int8 GEMM with int32 accumulation on
+  the dp4a (VNNI/DP4A) dot-product target, the serving-style workload.
 """
 
 from __future__ import annotations
@@ -23,6 +25,11 @@ FULL_N = 1024
 
 def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return a.astype(np.float32) @ b.astype(np.float32)
+
+
+def reference_matmul_int8(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """int8 GEMM with int32 accumulation — exact, no rounding."""
+    return a.astype(np.int32) @ b.astype(np.int32)
 
 
 def build(
@@ -194,5 +201,80 @@ def build_amx(
         description=(
             f"AMX GEMM {n}x{k}x{n}, {layout} layout, order {loop_order},"
             f" preload_a={preload_a}, preload_b={preload_b}"
+        ),
+    )
+
+
+# -- quantized int8 GEMM on the dp4a target -------------------------------------
+
+INT8_K = 64  # the dp4a macro-tile reduction depth (4-way groups x 16)
+
+
+def build_int8(
+    tiles: int = 2,
+    layout: str = "standard",
+    seed: int = 11,
+    full_n: int = FULL_N,
+) -> App:
+    """Quantized GEMM ``C_i32[x, y] = sum_r A_i8[x, r] * B_i8[r, y]``.
+
+    With ``layout="standard"`` the B operand arrives row-major, so
+    HARDBOILED must discover the VNNI-4 swizzle (``KWayInterleave``
+    with ``k = 4``) to place it in a dp4a register block — the int8
+    analogue of the AMX standard-layout schedule.  With
+    ``layout="vnni4"`` B is pre-packed ``B_vnni4(r%4, y, r/4)`` and
+    loads directly, no swizzle.  Accumulation is exact int32, so both
+    backends and the numpy reference agree bit for bit.
+    """
+    n = TILE * tiles
+    k = INT8_K
+    A = hl.ImageParam(hl.Int(8), 2, name="Aq")
+    x, y = hl.Var("x"), hl.Var("y")
+    xi, yi = hl.Var("xi"), hl.Var("yi")
+    r = hl.RDom(0, k, name="rq")
+
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-128, 128, size=(n, k), dtype=np.int8)
+    b = rng.integers(-128, 128, size=(k, n), dtype=np.int8)
+
+    if layout == "standard":
+        B = hl.ImageParam(hl.Int(8), 2, name="Bq")
+        b_input = b
+        b_ref = lambda: B[y, r]  # noqa: E731
+    elif layout == "vnni4":
+        from ..targets.dp4a import vnni4_pack
+
+        B = hl.ImageParam(hl.Int(8), 3, name="Bq4")
+        b_input = vnni4_pack(b).reshape(k // 4, n, 4)
+        b_ref = lambda: B[r % 4, y, r / 4]  # noqa: E731
+    else:
+        raise ValueError(f"unknown layout {layout!r}")
+
+    mm = hl.Func("mmq")
+    mm[y, x] = 0
+    mm[y, x] += hl.i32(A[r, x]) * hl.i32(b_ref())
+    out = mm.in_()
+    out.bound(x, 0, n).bound(y, 0, n)
+    out.split(x, x, xi, TILE).split(y, y, yi, TILE).reorder(
+        yi, xi, y, x
+    ).vectorize(yi).vectorize(xi)
+    mm.store_in(hl.MemoryType.DP4A_ACCUMULATOR).compute_at(out, "y")
+    mm.vectorize(y, TILE).vectorize(x, TILE)
+    mm.update().atomic().vectorize(r, k).vectorize(y, TILE).vectorize(
+        x, TILE
+    )
+
+    inputs = {A: a, B: b_input}
+    return App(
+        name="matmul_int8",
+        variant="tensor",
+        output=out,
+        inputs=inputs,
+        reference=lambda: reference_matmul_int8(a, b),
+        scale_factor=full_n**3 / (n * n * k),
+        kernels=1,
+        description=(
+            f"int8 GEMM {n}x{k}x{n} on dp4a, {layout} layout, i32"
+            f" accumulation (extrapolated to {full_n}^3)"
         ),
     )

@@ -69,6 +69,11 @@ def bf16(value) -> Expr:
     return cast(BFloat(16), value)
 
 
+def i32(value) -> Expr:
+    """Shorthand for ``cast(Int(32), value)`` (quantized accumulation)."""
+    return cast(Int(32), value)
+
+
 __all__ = [
     "BFloat",
     "Bool",
@@ -93,6 +98,7 @@ __all__ = [
     "f16",
     "f32",
     "floor",
+    "i32",
     "log",
     "maximum",
     "minimum",

@@ -14,6 +14,7 @@ from .encode import (
 )
 from .rules_amx import amx_rules
 from .rules_axiomatic import axiomatic_rules
+from .rules_dp4a import dp4a_rules
 from .rules_supporting import supporting_rules
 from .rules_wmma import wmma_rules
 from .tile_extractor import (

@@ -22,6 +22,10 @@ AMX_OUT_COST = 1000.0
 #: reading a WMMA fragment into registers is legal (fused post-ops do
 #: it), but a dedicated wmma.store is preferred when one applies
 WMMA_OUT_COST = 30.0
+#: DP4A accumulators are ordinary vector registers, so pointwise reads
+#: (quantized epilogues: requant, bias, ReLU) are as legal as WMMA's —
+#: but a dp4a_store still wins when a whole tile reaches memory
+DP4A_OUT_COST = 30.0
 
 
 def hardboiled_cost_model() -> CostModel:
@@ -29,8 +33,10 @@ def hardboiled_cost_model() -> CostModel:
         base_costs={
             "Mem2AMX": MOVEMENT_IN_COST,
             "Mem2WMMA": MOVEMENT_IN_COST,
+            "Mem2DP4A": MOVEMENT_IN_COST,
             "AMX2Mem": AMX_OUT_COST,
             "WMMA2Mem": WMMA_OUT_COST,
+            "DP4A2Mem": DP4A_OUT_COST,
         },
         hoisted_heads={"ExprVar": 1e-3},
     )

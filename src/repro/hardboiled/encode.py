@@ -56,7 +56,14 @@ from ..ir import (
 )
 
 #: data movement marker heads (paper: loc_to_loc)
-MOVEMENT_HEADS = ("Mem2AMX", "AMX2Mem", "Mem2WMMA", "WMMA2Mem")
+MOVEMENT_HEADS = (
+    "Mem2AMX",
+    "AMX2Mem",
+    "Mem2WMMA",
+    "WMMA2Mem",
+    "Mem2DP4A",
+    "DP4A2Mem",
+)
 
 _BINARY_HEADS = {
     Add: "Add",
@@ -80,8 +87,11 @@ _TYPE_HEADS = {
     (TypeCode.FLOAT, 32): "Float32",
     (TypeCode.FLOAT, 16): "Float16",
     (TypeCode.BFLOAT, 16): "BFloat16",
+    (TypeCode.INT, 8): "Int8",
+    (TypeCode.INT, 16): "Int16",
     (TypeCode.INT, 32): "Int32",
     (TypeCode.INT, 64): "Int64",
+    (TypeCode.UINT, 8): "UInt8",
     (TypeCode.UINT, 1): "Bool1",
 }
 _HEAD_TO_TYPE = {v: k for k, v in _TYPE_HEADS.items()}
@@ -221,10 +231,13 @@ def movement_wrapper(kind: str, value: Expr) -> Call:
 #: An AMX tile can only reach memory through tile_store, so a surviving
 #: AMX2Mem is unrealizable; WMMA fragments live in per-thread registers,
 #: so reading one pointwise (WMMA2Mem) is legal — it is how fused
-#: post-ops (bias/ReLU, coring) consume accumulator tiles.
+#: post-ops (bias/ReLU, coring) consume accumulator tiles.  DP4A
+#: accumulators likewise live in ordinary vector registers (there is no
+#: dedicated tile file), so outbound DP4A2Mem reads are legal too.
 FATAL_MARKERS = {
     "amx": ("Mem2AMX", "AMX2Mem"),
     "wmma": ("Mem2WMMA",),
+    "dp4a": ("Mem2DP4A",),
 }
 
 

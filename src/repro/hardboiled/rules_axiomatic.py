@@ -72,15 +72,23 @@ AXIOMATIC_PROGRAM = """
 ;; adjacent data movements cancel
 (rewrite (Mem2AMX (AMX2Mem e)) e)
 (rewrite (Mem2WMMA (WMMA2Mem e)) e)
+(rewrite (Mem2DP4A (DP4A2Mem e)) e)
 
 ;; degenerate-pattern recovery (paper SS A-3): the VNNI layout's 2-wide
-;; pair dimension appears as %2 and /2 over a flat lane ramp
+;; pair dimension appears as %2 and /2 over a flat lane ramp; the
+;; VNNI-4 (int8 dp4a) layout does the same with 4-wide groups
 (rewrite (Mod (Ramp 0 1 l) (Broadcast 2 l))
          (Broadcast (Ramp 0 1 2) (/ l 2))
          :when ((= 0 (% l 2))))
 (rewrite (Div (Ramp 0 1 l) (Broadcast 2 l))
          (Ramp (Broadcast 0 2) (Broadcast 1 2) (/ l 2))
          :when ((= 0 (% l 2))))
+(rewrite (Mod (Ramp 0 1 l) (Broadcast 4 l))
+         (Broadcast (Ramp 0 1 4) (/ l 4))
+         :when ((= 0 (% l 4))))
+(rewrite (Div (Ramp 0 1 l) (Broadcast 4 l))
+         (Ramp (Broadcast 0 4) (Broadcast 1 4) (/ l 4))
+         :when ((= 0 (% l 4))))
 
 ;; scale a ramp by a uniform broadcast
 (rule ((= e (Mul (Ramp b s c) (Broadcast k bl)))

@@ -40,14 +40,19 @@ SUPPORTING_PROGRAM = """
 (rule ((= e (AMX2Mem x)) (has-lanes x l)) ((has-lanes e l)))
 (rule ((= e (Mem2WMMA x)) (has-lanes x l)) ((has-lanes e l)))
 (rule ((= e (WMMA2Mem x)) (has-lanes x l)) ((has-lanes e l)))
+(rule ((= e (Mem2DP4A x)) (has-lanes x l)) ((has-lanes e l)))
+(rule ((= e (DP4A2Mem x)) (has-lanes x l)) ((has-lanes e l)))
 
 ;; MultiplyLanes computes result types for widened loads/casts
 (rewrite (MultiplyLanes (Float64 l) x) (Float64 (* l x)))
 (rewrite (MultiplyLanes (Float32 l) x) (Float32 (* l x)))
 (rewrite (MultiplyLanes (Float16 l) x) (Float16 (* l x)))
 (rewrite (MultiplyLanes (BFloat16 l) x) (BFloat16 (* l x)))
+(rewrite (MultiplyLanes (Int8 l) x) (Int8 (* l x)))
+(rewrite (MultiplyLanes (Int16 l) x) (Int16 (* l x)))
 (rewrite (MultiplyLanes (Int32 l) x) (Int32 (* l x)))
 (rewrite (MultiplyLanes (Int64 l) x) (Int64 (* l x)))
+(rewrite (MultiplyLanes (UInt8 l) x) (UInt8 (* l x)))
 """
 
 _cache = None

@@ -52,15 +52,18 @@ from .cost import hardboiled_cost_model
 from .encode import Encoder, contains_movement, decode_stmt, movement_wrapper
 from .rules_amx import amx_rules
 from .rules_axiomatic import axiomatic_rules
+from .rules_dp4a import dp4a_rules
 from .rules_supporting import supporting_rules
 from .rules_wmma import wmma_rules
 
 _KIND_BY_MEMORY = {
     MemoryType.AMX_TILE: "amx",
     MemoryType.WMMA_ACCUMULATOR: "wmma",
+    MemoryType.DP4A_ACCUMULATOR: "dp4a",
 }
-_WRAP_IN = {"amx": "Mem2AMX", "wmma": "Mem2WMMA"}
-_WRAP_OUT = {"amx": "AMX2Mem", "wmma": "WMMA2Mem"}
+_WRAP_IN = {"amx": "Mem2AMX", "wmma": "Mem2WMMA", "dp4a": "Mem2DP4A"}
+_WRAP_OUT = {"amx": "AMX2Mem", "wmma": "WMMA2Mem", "dp4a": "DP4A2Mem"}
+_APP_RULES = {"amx": amx_rules, "wmma": wmma_rules, "dp4a": dp4a_rules}
 
 
 @dataclass
@@ -146,7 +149,7 @@ def _rules_for(kind: str):
     """
     ax_rules, _ = axiomatic_rules()
     sup_rules, _ = supporting_rules()
-    app_rules, _ = amx_rules() if kind == "amx" else wmma_rules()
+    app_rules, _ = _APP_RULES[kind]()
     return tuple(ax_rules) + tuple(app_rules), tuple(sup_rules)
 
 
@@ -214,7 +217,8 @@ class TileExtractor:
         V().visit(store.value)
         if len(kinds) > 1:
             raise SelectionError(
-                f"store into {store.name!r} mixes AMX and WMMA operands"
+                f"store into {store.name!r} mixes accelerator kinds"
+                f" {sorted(kinds)}"
             )
         return kinds.pop() if kinds else None
 

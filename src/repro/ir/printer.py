@@ -117,6 +117,10 @@ def print_expr(e: Expr) -> str:
         else:
             idx = ", ".join(map(str, e.indices))
         return f"shuffle([{vecs}], [{idx}])"
+    if isinstance(e, Min):
+        return f"min({print_expr(e.a)}, {print_expr(e.b)})"
+    if isinstance(e, Max):
+        return f"max({print_expr(e.a)}, {print_expr(e.b)})"
     symbol = _BINOP_SYMBOL.get(type(e))
     if symbol is not None:
         return f"({print_expr(e.a)} {symbol} {print_expr(e.b)})"

@@ -25,9 +25,10 @@ class ForKind(enum.Enum):
 class MemoryType(enum.Enum):
     """Where a buffer lives.
 
-    ``AMX_TILE`` and ``WMMA_ACCUMULATOR`` are the scheduling hooks the user
-    pulls (via ``Func.store_in``) to request tensor-accelerator storage —
-    the trigger for HARDBOILED instruction selection.
+    ``AMX_TILE``, ``WMMA_ACCUMULATOR``, and ``DP4A_ACCUMULATOR`` are the
+    scheduling hooks the user pulls (via ``Func.store_in``) to request
+    tensor-accelerator storage — the trigger for HARDBOILED instruction
+    selection.
     """
 
     AUTO = "auto"
@@ -37,9 +38,14 @@ class MemoryType(enum.Enum):
     GPU_SHARED = "gpu_shared"
     AMX_TILE = "amx_tile"
     WMMA_ACCUMULATOR = "wmma_accumulator"
+    DP4A_ACCUMULATOR = "dp4a_accumulator"
 
     def is_accelerator(self) -> bool:
-        return self in (MemoryType.AMX_TILE, MemoryType.WMMA_ACCUMULATOR)
+        return self in (
+            MemoryType.AMX_TILE,
+            MemoryType.WMMA_ACCUMULATOR,
+            MemoryType.DP4A_ACCUMULATOR,
+        )
 
 
 @dataclass(frozen=True)

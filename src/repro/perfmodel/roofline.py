@@ -106,7 +106,11 @@ class PerfModel:
     ) -> TimeBreakdown:
         eff = self.efficiency
         dev = self.device
-        tensor_s = counters.tensor_macs / (dev.tensor_macs_per_s * eff.tensor)
+        # fp16/bf16 and int8 MACs share the tensor unit, so their times
+        # add; int8 runs at the device's dot-product (VNNI/DP4A) rate
+        tensor_s = counters.tensor_macs / (
+            dev.tensor_macs_per_s * eff.tensor
+        ) + counters.int8_macs / (dev.int8_rate() * eff.tensor)
         # two FLOPs pair into one FMA on general-purpose lanes; integer
         # index arithmetic shares SM issue slots at roughly a quarter of
         # an FMA each (dual-issue integer pipes) — offloading it is part

@@ -54,6 +54,7 @@ from ..hardboiled.intrinsics import (
 )
 from ..targets.amx import tdpbf16ps
 from ..targets.bfloat16 import round_to_bfloat16
+from ..targets.dp4a import dp4a_mac
 from ..targets.wmma import check_shape as wmma_check_shape
 from ..targets.wmma import mma_sync
 from .buffer import Buffer
@@ -158,6 +159,33 @@ def _v_tile_store(buf, base, stride, rows, cols, tile):
     return np.float32(0.0)
 
 
+def _v_dp4a_zero(rows, cols):
+    return np.zeros(rows * cols, dtype=np.int32)
+
+
+def _v_dp4a_load(buf, base, stride, rows, cols):
+    idx = tile_index(base, stride, rows, cols)
+    return buf.data[idx].astype(np.int32, copy=False)
+
+
+def _v_dp4a_matmul(c, a, b, m, n, k):
+    return dp4a_mac(
+        np.asarray(c, np.int32).reshape(m, n),
+        np.asarray(a).reshape(m, k),
+        np.asarray(b).reshape(k // 4, 4 * n),
+    ).ravel()
+
+
+def _v_dp4a_store(buf, base, stride, rows, cols, tile):
+    idx = tile_index(base, stride, rows, cols)
+    buf.data[idx] = np.asarray(tile, dtype=buf.data.dtype)
+    return np.int32(0)
+
+
+def _v_dp4a2mem(x):
+    return x
+
+
 def _v_wmma_fill(m, n, value):
     return np.full(m * n, value, dtype=np.float32)
 
@@ -217,6 +245,11 @@ VALUE_INTRINSICS: Dict[str, Callable] = {
     "wmma.load.b.sync": _v_wmma_load,
     "wmma.mma.sync": _v_wmma_mma,
     "wmma.store.d.sync": _v_wmma_store,
+    "dp4a_zero": _v_dp4a_zero,
+    "dp4a_load": _v_dp4a_load,
+    "dp4a_matmul": _v_dp4a_matmul,
+    "dp4a_store": _v_dp4a_store,
+    "DP4A2Mem": _v_dp4a2mem,
     "KWayInterleave": _v_kway_interleave,
     "ConvolutionShuffle": _v_convolution_shuffle,
     "MultiphaseShuffle": _v_multiphase_shuffle,
@@ -247,6 +280,10 @@ PURE_INTRINSICS = set(MATH_INTRINSICS) | {
     "wmma.load.a.sync",
     "wmma.load.b.sync",
     "wmma.mma.sync",
+    "dp4a_zero",
+    "dp4a_load",
+    "dp4a_matmul",
+    "DP4A2Mem",
     "KWayInterleave",
     "ConvolutionShuffle",
     "MultiphaseShuffle",

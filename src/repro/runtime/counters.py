@@ -19,6 +19,9 @@ class Counters:
     scalar_flops: int = 0
     #: multiply-accumulates executed on the tensor unit (1 MAC = 2 FLOPs)
     tensor_macs: int = 0
+    #: int8 multiply-accumulates executed on the dot-product unit
+    #: (VNNI/DP4A); integer work, so not counted in total_flops
+    int8_macs: int = 0
     #: integer ALU ops (index arithmetic); cheap but tracked for ablations
     int_ops: int = 0
     #: total bytes moved by Load nodes, keyed by buffer memory level
@@ -54,31 +57,39 @@ class Counters:
         The pipelines in this project are static loop nests, so every
         counter scales linearly with the iteration domain.  Used to
         extrapolate interpreted runs of reduced-size workloads to the
-        paper's full sizes.
+        paper's full sizes.  Entries round to nearest: truncation would
+        systematically under-report every counter whenever the scale
+        factor is not an integer.
         """
+
+        def scale(v) -> int:
+            return int(round(v * factor))
+
         scaled = Counters(
-            scalar_flops=int(self.scalar_flops * factor),
-            tensor_macs=int(self.tensor_macs * factor),
-            int_ops=int(self.int_ops * factor),
-            stores_executed=int(self.stores_executed * factor),
+            scalar_flops=scale(self.scalar_flops),
+            tensor_macs=scale(self.tensor_macs),
+            int8_macs=scale(self.int8_macs),
+            int_ops=scale(self.int_ops),
+            stores_executed=scale(self.stores_executed),
         )
         scaled.load_bytes = {
-            k: int(v * factor) for k, v in self.load_bytes.items()
+            k: scale(v) for k, v in self.load_bytes.items()
         }
         scaled.store_bytes = {
-            k: int(v * factor) for k, v in self.store_bytes.items()
+            k: scale(v) for k, v in self.store_bytes.items()
         }
         scaled.intrinsic_calls = Counter(
-            {k: int(v * factor) for k, v in self.intrinsic_calls.items()}
+            {k: scale(v) for k, v in self.intrinsic_calls.items()}
         )
         scaled.loop_iterations = Counter(
-            {k: int(v * factor) for k, v in self.loop_iterations.items()}
+            {k: scale(v) for k, v in self.loop_iterations.items()}
         )
         return scaled
 
     def merge(self, other: "Counters") -> None:
         self.scalar_flops += other.scalar_flops
         self.tensor_macs += other.tensor_macs
+        self.int8_macs += other.int8_macs
         self.int_ops += other.int_ops
         self.stores_executed += other.stores_executed
         for k, v in other.load_bytes.items():
@@ -92,6 +103,7 @@ class Counters:
         lines = [
             f"scalar_flops      = {self.scalar_flops:,}",
             f"tensor_macs       = {self.tensor_macs:,}",
+            f"int8_macs         = {self.int8_macs:,}",
             f"load_bytes        = {dict(self.load_bytes)}",
             f"store_bytes       = {dict(self.store_bytes)}",
             f"intrinsics        = {dict(self.intrinsic_calls)}",

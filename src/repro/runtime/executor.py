@@ -32,6 +32,7 @@ from .kernel_cache import DEFAULT_CACHE, KernelCache, fingerprint_stmt
 
 # importing the target simulators registers their intrinsic handlers
 from ..targets import amx as _amx  # noqa: F401
+from ..targets import dp4a as _dp4a  # noqa: F401
 from ..targets import wmma as _wmma  # noqa: F401
 from ..hardboiled import intrinsics as _hb_intrinsics  # noqa: F401
 
@@ -87,11 +88,7 @@ class CompiledPipeline:
         for key, array in (inputs or {}).items():
             name = key.name if isinstance(key, ImageParam) else str(key)
             dtype = key.dtype if isinstance(key, ImageParam) else None
-            buf = Buffer.from_numpy(name, array, dtype=dtype)
-            buffers[name] = buf
-            for d, stride in enumerate(buf.strides):
-                if d > 0:
-                    env[f"{name}.stride.{d}"] = stride
+            buffers[name] = Buffer.from_numpy(name, array, dtype=dtype)
         out = Buffer(
             self.output_name,
             self.output_dtype,
@@ -99,6 +96,13 @@ class CompiledPipeline:
             is_external=True,
         )
         buffers[self.output_name] = out
+        # publish stride env entries for *every* external buffer — the
+        # output included, so kernels that address it through its
+        # strides do not hit an unbound ``{name}.stride.{d}``
+        for name, buf in buffers.items():
+            for d, stride in enumerate(buf.strides):
+                if d > 0:
+                    env[f"{name}.stride.{d}"] = stride
         if mode == "compile":
             if self._cache_key is None:
                 self._cache_key = fingerprint_stmt(self.lowered.stmt)

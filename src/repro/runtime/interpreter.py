@@ -50,6 +50,7 @@ def memory_level(buffer: Buffer) -> str:
     if buffer.memory_type in (
         MemoryType.AMX_TILE,
         MemoryType.WMMA_ACCUMULATOR,
+        MemoryType.DP4A_ACCUMULATOR,
         MemoryType.REGISTER,
     ):
         return "reg"

@@ -26,12 +26,20 @@ class DeviceSpec:
     l1_bytes_per_s: float
     #: fixed kernel-launch overhead per kernel, seconds
     launch_overhead_s: float = 3e-6
+    #: int8 dot-product-unit throughput (VNNI/DP4A/IMMA), MACs per
+    #: second; 0 means "unspecified" and falls back to the common 2x
+    #: fp16 ratio via :meth:`int8_rate`
+    int8_macs_per_s: float = 0.0
 
     def tensor_flops_per_s(self) -> float:
         return 2.0 * self.tensor_macs_per_s
 
     def cuda_flops_per_s(self) -> float:
         return 2.0 * self.cuda_macs_per_s
+
+    def int8_rate(self) -> float:
+        """int8 MAC throughput; every listed device doubles fp16."""
+        return self.int8_macs_per_s or 2.0 * self.tensor_macs_per_s
 
 
 #: Nvidia A100 80GB SXM (paper §IV: 156 TFMA/s fp16 tensor, 2 TB/s)
@@ -41,6 +49,7 @@ A100 = DeviceSpec(
     cuda_macs_per_s=9.75e12,  # 19.5 TFLOPS fp32
     dram_bytes_per_s=2.0e12,
     l1_bytes_per_s=19.4e12,  # 108 SM x 128 B/clk x 1.41 GHz
+    int8_macs_per_s=312e12,  # 624 TOPS INT8 tensor (A100 whitepaper)
 )
 
 #: Nvidia GeForce RTX 4070 SUPER (paper footnote 6: 36 TFMA/s tensor,
@@ -51,6 +60,7 @@ RTX4070S = DeviceSpec(
     cuda_macs_per_s=17.7e12,  # 35.5 TFLOPS fp32
     dram_bytes_per_s=504.2e9,
     l1_bytes_per_s=17.8e12,  # 56 SM x 128 B/clk x 2.48 GHz
+    int8_macs_per_s=72e12,  # Ada: INT8 tensor runs at 2x the fp16 rate
 )
 
 #: An AMX-capable Sapphire Rapids core complex (functional validation
@@ -62,6 +72,7 @@ SPR_AMX = DeviceSpec(
     dram_bytes_per_s=300e9,
     l1_bytes_per_s=6e12,
     launch_overhead_s=0.0,
+    int8_macs_per_s=4e12,  # AMX-INT8 (TDPBSSD) doubles the bf16 rate
 )
 
 DEVICES = {spec.name: spec for spec in (A100, RTX4070S, SPR_AMX)}

@@ -1,0 +1,197 @@
+"""Functional simulator for int8 dot-product accelerators (VNNI/DP4A).
+
+Models the 4-way int8 multiply-accumulate family — Intel AVX512-VNNI's
+``VPDPBSSD``/AMX-INT8 and NVIDIA's ``DP4A``/IMMA — the way
+:mod:`repro.targets.amx` models TDPBF16PS:
+
+* an accumulator tile holds 16x16 int32 values;
+* ``dp4a_matmul`` computes ``C += A @ B`` where A is 16x64 int8
+  (row-major), B is 64x16 int8 in the *VNNI-4* layout (groups of four
+  logical rows interleaved element-wise — ``KWayInterleave`` with
+  ``k = 4``), and C is 16x16 int32;
+* products are formed in int8, accumulated in int32 with wraparound (no
+  saturation), exactly like the hardware instructions.
+
+Unlike AMX tiles, DP4A accumulators live in ordinary vector registers:
+reading one pointwise (the ``DP4A2Mem`` marker) is legal, which is how
+quantized epilogues (bias add, ReLU, requantization) consume them.
+
+Intrinsic signatures (as emitted by :mod:`repro.hardboiled`):
+
+* ``dp4a_zero(rows, cols)``
+* ``dp4a_load(buffer, base, row_stride, rows, cols)``
+* ``dp4a_matmul(C, A, B_vnni4, m, n, k)``
+* ``dp4a_store(buffer, base, row_stride, rows, cols, tile)``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import expr as E
+from ..runtime.interpreter import (
+    Interpreter,
+    memory_level,
+    register_intrinsic,
+    tile_index,
+)
+
+#: the interleave factor: one instruction consumes 4 int8 values per lane
+K_GROUP = 4
+
+#: architectural limits mirrored from the AMX tile file (a 64-byte row
+#: holds 64 int8 or 16 int32 lanes)
+MAX_ROWS = 16
+MAX_BYTES_PER_ROW = 64
+
+#: the dp4a_matmul macro-tile: C[16,16] i32 += A[16,64] i8 . B[64,16] i8
+DP_M = 16
+DP_N = 16
+DP_K = 64
+
+
+class DP4AError(RuntimeError):
+    pass
+
+
+def check_tile_shape(rows: int, cols: int, bytes_per_element: int) -> None:
+    if rows > MAX_ROWS:
+        raise DP4AError(f"DP4A tile rows {rows} > {MAX_ROWS}")
+    if cols * bytes_per_element > MAX_BYTES_PER_ROW:
+        raise DP4AError(
+            f"DP4A tile row of {cols} x {bytes_per_element}B exceeds"
+            f" {MAX_BYTES_PER_ROW} bytes"
+        )
+
+
+def vnni4_pack(b: np.ndarray) -> np.ndarray:
+    """Pack a (K, N) matrix into the VNNI-4 layout (K/4, 4N).
+
+    Groups of four rows are interleaved element-wise:
+    ``vnni[p, 4j + t]`` holds ``b[4p + t, j]`` — the int8 analogue of
+    AMX's pair-interleaved bf16 layout, produced by ``KWayInterleave``
+    with ``k = 4``.
+    """
+    k, n = b.shape
+    if k % K_GROUP != 0:
+        raise DP4AError(f"VNNI-4 pack needs K divisible by 4, got {k}")
+    out = np.empty((k // K_GROUP, K_GROUP * n), dtype=b.dtype)
+    for t in range(K_GROUP):
+        out[:, t::K_GROUP] = b[t::K_GROUP, :]
+    return out
+
+
+def vnni4_unpack(vnni: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`vnni4_pack`: (K/4, 4N) -> (K, N)."""
+    kp, n4 = vnni.shape
+    if n4 % K_GROUP != 0:
+        raise DP4AError(f"VNNI-4 unpack needs 4N row length, got {n4}")
+    n = n4 // K_GROUP
+    out = np.empty((kp * K_GROUP, n), dtype=vnni.dtype)
+    for t in range(K_GROUP):
+        out[t::K_GROUP, :] = vnni[:, t::K_GROUP]
+    return out
+
+
+def dp4a_mac(c: np.ndarray, a: np.ndarray, b_vnni4: np.ndarray) -> np.ndarray:
+    """The dp4a macro-instruction: C += A @ unpack(B_vnni4), int8 inputs.
+
+    Hardware multiplies int8 pairs and accumulates in int32 with
+    wraparound; truncating the inputs to int8 here reproduces that
+    behaviour for out-of-range values.
+    """
+    a8 = np.asarray(a).astype(np.int8).astype(np.int32)
+    b = vnni4_unpack(np.asarray(b_vnni4).astype(np.int8)).astype(np.int32)
+    if a8.shape[1] != b.shape[0]:
+        raise DP4AError(
+            f"dp4a_matmul shape mismatch: A {a8.shape} vs B {b.shape}"
+        )
+    return np.asarray(c, dtype=np.int32) + a8 @ b
+
+
+# -- intrinsic handlers ---------------------------------------------------------
+
+
+@register_intrinsic("dp4a_zero")
+def _dp4a_zero(interp: Interpreter, call: E.Call, env):
+    rows = interp.eval_int(call.args[0], env)
+    cols = interp.eval_int(call.args[1], env)
+    check_tile_shape(rows, cols, 4)
+    return np.zeros(rows * cols, dtype=np.int32)
+
+
+@register_intrinsic("dp4a_load")
+def _dp4a_load(interp: Interpreter, call: E.Call, env):
+    name_expr = call.args[0]
+    if not isinstance(name_expr, E.StringImm):
+        raise DP4AError("dp4a_load expects a buffer name as first argument")
+    buf = interp.buffer(name_expr.value)
+    base = interp.eval_int(call.args[1], env)
+    stride = interp.eval_int(call.args[2], env)
+    rows = interp.eval_int(call.args[3], env)
+    cols = interp.eval_int(call.args[4], env)
+    check_tile_shape(rows, cols, buf.dtype.bytes_per_lane())
+    idx = tile_index(base, stride, rows, cols)
+    if np.any(idx < 0) or np.any(idx >= buf.size):
+        raise DP4AError(
+            f"dp4a_load out of bounds on {buf.name!r}:"
+            f" [{idx.min()}, {idx.max()}] vs size {buf.size}"
+        )
+    values = buf.gather(idx)
+    interp.counters.add_load(
+        memory_level(buf), idx.size * buf.dtype.bytes_per_lane()
+    )
+    return values.astype(np.int32, copy=False)
+
+
+@register_intrinsic("dp4a_matmul")
+def _dp4a_matmul(interp: Interpreter, call: E.Call, env):
+    c = interp.eval_vector(call.args[0], env)
+    a = interp.eval_vector(call.args[1], env)
+    b = interp.eval_vector(call.args[2], env)
+    m = interp.eval_int(call.args[3], env)
+    n = interp.eval_int(call.args[4], env)
+    k = interp.eval_int(call.args[5], env)
+    if (m, n, k) != (DP_M, DP_N, DP_K):
+        raise DP4AError(
+            f"dp4a_matmul supports m{DP_M}n{DP_N}k{DP_K}, got m{m}n{n}k{k}"
+        )
+    c2 = np.asarray(c, dtype=np.int32).reshape(m, n)
+    a2 = np.asarray(a).reshape(m, k)
+    b2 = np.asarray(b).reshape(k // K_GROUP, K_GROUP * n)
+    interp.counters.int8_macs += m * n * k
+    return dp4a_mac(c2, a2, b2).ravel()
+
+
+@register_intrinsic("dp4a_store")
+def _dp4a_store(interp: Interpreter, call: E.Call, env):
+    name_expr = call.args[0]
+    if not isinstance(name_expr, E.StringImm):
+        raise DP4AError("dp4a_store expects a buffer name as first argument")
+    buf = interp.buffer(name_expr.value)
+    base = interp.eval_int(call.args[1], env)
+    stride = interp.eval_int(call.args[2], env)
+    rows = interp.eval_int(call.args[3], env)
+    cols = interp.eval_int(call.args[4], env)
+    tile = interp.eval_vector(call.args[5], env)
+    idx = tile_index(base, stride, rows, cols)
+    if np.any(idx < 0) or np.any(idx >= buf.size):
+        raise DP4AError(
+            f"dp4a_store out of bounds on {buf.name!r}:"
+            f" [{idx.min()}, {idx.max()}] vs size {buf.size}"
+        )
+    buf.scatter(idx, np.asarray(tile, dtype=buf.data.dtype))
+    interp.counters.add_store(
+        memory_level(buf), idx.size * buf.dtype.bytes_per_lane()
+    )
+    return np.int32(0)
+
+
+@register_intrinsic("DP4A2Mem")
+def _dp4a2mem(interp: Interpreter, call: E.Call, env):
+    """Accumulator -> register read; identity in simulation.
+
+    Survives selection when a quantized epilogue (bias, ReLU, requant)
+    consumes an accumulator tile pointwise instead of via dp4a_store.
+    """
+    return interp.eval_expr(call.args[0], env)

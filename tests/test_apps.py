@@ -134,3 +134,28 @@ class TestAMXTable1Variants:
         app = matmul.build_amx(layout="standard", preload_b=True)
         _, report = select_instructions(lower(app.output))
         assert not report.all_mapped
+
+
+class TestBackendMemoization:
+    """Regression: ``App.compile()`` used to cache the pipeline built
+    with the backend value at first call, so mutating ``app.backend``
+    afterwards was silently ignored."""
+
+    def test_backend_mutation_rebuilds_pipeline(self):
+        app = conv1d.build("cuda", taps=16, rows=1)
+        first = app.run()
+        assert app.compile().backend == "interpret"
+        app.backend = "compile"
+        assert app.compile().backend == "compile"
+        np.testing.assert_allclose(app.run(), first, rtol=0, atol=0)
+
+    def test_rebuild_reuses_lowered_statement(self):
+        # switching backends must not re-lower (or re-select) anything
+        app = conv1d.build("tensor", taps=16, rows=1)
+        lowered = app.compile().lowered
+        report = app.report
+        app.backend = "compile"
+        assert app.compile().lowered is lowered
+        assert app.report is report
+        app.backend = "interpret"
+        assert app.compile().backend == "interpret"

@@ -66,6 +66,32 @@ class TestMultiStageBackendParity:
         assert_backends_agree(dct_denoise.build(variant, num_tiles=8))
 
 
+class TestQuantizedBackendParity:
+    """The dp4a apps accumulate in exact int32: interpret, compile, and
+    the numpy reference must agree bit for bit, not just allclose."""
+
+    def test_matmul_int8(self):
+        app = matmul.build_int8(tiles=2)
+        assert_backends_agree(app)
+        np.testing.assert_array_equal(
+            app.run(backend="compile"), app.reference()
+        )
+
+    def test_conv_layer_int8(self):
+        app = conv_layer.build_int8(width=16, rows=1)
+        assert_backends_agree(app)
+        np.testing.assert_array_equal(
+            app.run(backend="compile"), app.reference()
+        )
+
+    def test_no_fallback_kernels(self):
+        cache = KernelCache()
+        app = matmul.build_int8(tiles=1)
+        kernel = cache.get(app.compile().lowered)
+        assert not kernel.is_fallback
+        assert kernel.source is not None
+
+
 class TestRealKernelsEmitted:
     """The apps must compile to real kernels, not the interpreter fallback."""
 

@@ -305,6 +305,54 @@ class TestRunPhased:
             n: len(r) for n, r in eg_old.relations.items()
         }
 
+    def test_matches_legacy_on_dp4a_rules(self):
+        """The int8 rule family (a previously unseen rule set for the
+        incremental engine) must drive both engines to identical
+        extractions and relations on every store of the quantized GEMM."""
+        from repro.apps import matmul
+        from repro.hardboiled.cost import hardboiled_cost_model
+        from repro.hardboiled.encode import Encoder
+        from repro.hardboiled.tile_extractor import TileExtractor, _rules_for
+        from repro.ir import Store as IRStore
+        from repro.ir.visitor import IRVisitor
+        from repro.lowering import lower
+
+        app = matmul.build_int8(tiles=1)
+        lowered = lower(app.output)
+        extractor = TileExtractor(lowered)
+        prepared = []
+
+        class Collect(IRVisitor):
+            def visit_Store(self, node: IRStore):
+                entry = extractor.prepare_store(node)
+                if entry is not None:
+                    prepared.append(entry)
+
+        Collect().visit(lowered.stmt)
+        assert prepared, "no dp4a stores found in the quantized GEMM"
+        model = hardboiled_cost_model()
+        extracted = []
+        for kind, wrapped in prepared:
+            assert kind == "dp4a"
+            main_rules, sup_rules = _rules_for(kind)
+            eg_new = EGraph()
+            root_new = Encoder(eg_new).stmt(wrapped)
+            eg_old = EGraph()
+            root_old = Encoder(eg_old).stmt(wrapped)
+            run_phased(eg_new, list(main_rules), list(sup_rules), iterations=14)
+            legacy_run_phased(
+                eg_old, list(main_rules), list(sup_rules), iterations=14
+            )
+            new_term = str(extract_best(eg_new, root_new, model))
+            old_term = str(extract_best(eg_old, root_old, model))
+            assert new_term == old_term
+            extracted.append(new_term)
+            assert {n: len(r) for n, r in eg_new.relations.items()} == {
+                n: len(r) for n, r in eg_old.relations.items()
+            }
+        # both engines actually selected the int8 intrinsic somewhere
+        assert any("dp4a_matmul" in t for t in extracted)
+
 
 class TestExtractionMemo:
     def test_costs_cached_until_version_changes(self):

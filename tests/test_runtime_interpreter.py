@@ -234,3 +234,86 @@ class TestCounters:
         assert s.scalar_flops == 25
         assert s.tensor_macs == 10
         assert s.load_bytes["dram"] == 250
+
+
+class TestCountersScaledRounding:
+    """Regression: ``Counters.scaled`` truncated every entry with
+    ``int(v * factor)``, systematically under-reporting extrapolated
+    work whenever the scale factor is fractional."""
+
+    def test_fractional_factor_rounds_to_nearest(self):
+        c = Counters(scalar_flops=333, tensor_macs=1, int8_macs=3)
+        c.add_load("dram", 333)
+        c.add_store("l1", 1)
+        c.intrinsic_calls["dp4a_matmul"] = 3
+        s = c.scaled(1.2)
+        assert s.scalar_flops == 400  # int() would truncate to 399
+        assert s.tensor_macs == 1
+        assert s.int8_macs == 4  # 3.6 rounds up; int() gave 3
+        assert s.load_bytes["dram"] == 400
+        assert s.store_bytes["l1"] == 1
+        assert s.intrinsic_calls["dp4a_matmul"] == 4
+
+    def test_no_systematic_downward_bias(self):
+        c = Counters(scalar_flops=5)
+        # truncation loses a whole unit at factor 2.7 (13.5 -> 13);
+        # rounding keeps the extrapolation within half a unit
+        assert abs(c.scaled(2.7).scalar_flops - 13.5) <= 0.5
+
+
+class TestOutputStridePublication:
+    """Regression: ``CompiledPipeline.run`` published ``{name}.stride.{d}``
+    env entries only for *input* buffers, so a kernel addressing the
+    output through its strides hit an unbound variable / KeyError."""
+
+    def _stride_pipeline(self):
+        from repro import frontend as hl
+        from repro.ir import Broadcast, Cast, Float, Mul, Ramp
+        from repro.ir.stmt import For, ForKind, MemoryType
+        from repro.lowering.build import RealizationInfo
+        from repro.lowering.pipeline import Lowered
+
+        f = hl.Func("strout")
+        x, y = hl.Var("x"), hl.Var("y")
+        f[x, y] = 0.0
+        info = RealizationInfo(
+            func=f,
+            mins=[IntImm(0), IntImm(0)],
+            extents=[IntImm(4), IntImm(3)],
+            storage_perm=[0, 1],
+            memory_type=MemoryType.HEAP,
+            is_output=True,
+        )
+        # store row y of the output through its published stride
+        stmt = For(
+            "y",
+            IntImm(0),
+            IntImm(3),
+            ForKind.SERIAL,
+            Store(
+                "strout",
+                Ramp(
+                    Mul(Variable("y"), Variable("strout.stride.1")),
+                    IntImm(1),
+                    4,
+                ),
+                Broadcast(Cast(Float(32), Variable("y")), 4),
+            ),
+        )
+        return Lowered(
+            stmt=stmt,
+            realizations={"strout": info},
+            output=f,
+            atomic_vars=set(),
+        )
+
+    @pytest.mark.parametrize("backend", ["interpret", "compile"])
+    def test_kernel_may_address_output_via_stride(self, backend):
+        from repro.runtime.executor import CompiledPipeline
+
+        pipe = CompiledPipeline(self._stride_pipeline(), backend=backend)
+        out = pipe.run({})
+        expected = np.repeat(
+            np.arange(3, dtype=np.float32), 4
+        ).reshape(3, 4)
+        np.testing.assert_array_equal(out, expected)

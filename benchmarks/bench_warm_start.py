@@ -1,0 +1,178 @@
+"""Warm-start compile service: cold vs. warm over the fig-6 workloads.
+
+Cold (what every process used to pay): lower, equality-saturate every
+accelerator store, extract, and run NumPy codegen.  Warm (this PR): the
+same ``compile_lowered`` call finds the artifact a previous compile
+persisted — keyed on the pre-selection statement fingerprint, the
+rule-set fingerprint, backend, and device — and restores the tensorized
+statement plus the ready-to-exec kernel, skipping saturation *and*
+codegen entirely.
+
+Asserted (full mode): summed end-to-end compile time over the fig-6
+conv1d suite is >=5x faster warm than cold, and every workload's
+pipeline output is bit-identical cold vs. warm on *both* execution
+backends.  ``--smoke`` checks hit/miss behavior, bit-exactness, and the
+parallel batch driver without timing assertions (CI-safe).
+
+Run directly::
+
+    python -m benchmarks.bench_warm_start           # full, asserts 5x
+    python -m benchmarks.bench_warm_start --smoke   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+
+import numpy as np
+
+from repro.apps import conv1d
+from repro.lowering import lower
+from repro.service import (
+    ArtifactStore,
+    BatchCompiler,
+    CompileJob,
+    compile_lowered,
+    ruleset_fingerprint,
+)
+
+from .harness import artifact_row, print_artifact_report, print_header
+
+#: the fig-6 compile-time sweep (bench_fig6_compile_time.KERNEL_SIZES)
+KERNEL_SIZES = [8, 32, 56, 96, 160, 256]
+SMOKE_SIZES = [8, 16]
+TARGET_SPEEDUP = 5.0
+
+
+def compile_suite(sizes, store, expect):
+    """Compile every workload through ``store``; returns per-workload
+    ``(seconds, report, {backend: output})`` and asserts each compile
+    took the ``expect`` ("hit"/"miss") path."""
+    results = {}
+    for taps in sizes:
+        app = conv1d.build("tensor", taps=taps, rows=1)
+        lowered = lower(app.output)
+        start = time.perf_counter()
+        pipeline, report = compile_lowered(
+            lowered, store, backend="compile", strict=True
+        )
+        seconds = time.perf_counter() - start
+        assert report.artifact_cache == expect, (
+            f"taps={taps}: expected artifact-cache {expect},"
+            f" got {report.artifact_cache}"
+        )
+        assert report.all_mapped
+        outputs = {
+            backend: pipeline.run(app.inputs, backend=backend)
+            for backend in ("compile", "interpret")
+        }
+        results[taps] = (seconds, report, outputs)
+    return results
+
+
+def race(sizes):
+    """One cold sweep then one warm sweep over a fresh store."""
+    # one-time per-process key ingredient, paid before either sweep so
+    # neither side is billed for it (a real serving process pays it
+    # once, then amortizes it over every pipeline it compiles)
+    ruleset_fingerprint()
+    with tempfile.TemporaryDirectory(prefix="repro-warm-start-") as root:
+        cold_store = ArtifactStore(root)
+        cold = compile_suite(sizes, cold_store, expect="miss")
+        # a fresh ArtifactStore over the same directory stands in for a
+        # fresh process: no in-memory state survives except the
+        # process-wide rule/kernel caches, which the warm path never
+        # consults anyway (it restores instead of compiling)
+        warm_store = ArtifactStore(root)
+        warm = compile_suite(sizes, warm_store, expect="hit")
+
+        rows = []
+        for taps in sizes:
+            cold_s, cold_report, cold_out = cold[taps]
+            warm_s, warm_report, warm_out = warm[taps]
+            for backend in ("compile", "interpret"):
+                assert np.array_equal(
+                    cold_out[backend], warm_out[backend]
+                ), f"taps={taps}: {backend} outputs differ cold vs. warm"
+            rows.append(artifact_row(f"conv1d k={taps} cold", cold_report, cold_s))
+            rows.append(artifact_row(f"conv1d k={taps} warm", warm_report, warm_s))
+        cold_total = sum(cold[t][0] for t in sizes)
+        warm_total = sum(warm[t][0] for t in sizes)
+        return rows, warm_store, cold_total, warm_total
+
+
+def batch_race(sizes, max_workers=4):
+    """The parallel batch driver: first batch misses, second batch hits."""
+    jobs = [
+        CompileJob.make("conv1d", taps=taps, rows=1) for taps in sizes
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-batch-") as root:
+        compiler = BatchCompiler(root, max_workers=max_workers)
+        first = compiler.compile_many(jobs)
+        second = compiler.compile_many(jobs)
+    for result in first.results + second.results:
+        assert result.ok, f"{result.job.label}: {result.error}"
+        assert result.all_mapped
+    assert first.misses == len(jobs), first.summary()
+    assert second.hits == len(jobs), second.summary()
+    return first, second
+
+
+def report(rows, store, cold_total, warm_total, first, second) -> None:
+    print_header(
+        "Warm-start compile service — cold vs. warm over the fig-6"
+        " conv1d suite (end-to-end compile wall-clock)"
+    )
+    print_artifact_report(rows, store)
+    speedup = cold_total / warm_total if warm_total else float("inf")
+    print(
+        f"suite totals: cold {cold_total * 1e3:.1f} ms, warm"
+        f" {warm_total * 1e3:.1f} ms -> {speedup:.1f}x"
+    )
+    print()
+    print("parallel batch driver (worker processes, shared store):")
+    for label, batch in (("first batch", first), ("second batch", second)):
+        s = batch.summary()
+        print(
+            f"  {label}: {s['jobs']} jobs, {s['misses']} misses,"
+            f" {s['hits']} hits, wall {s['wall_seconds'] * 1e3:.1f} ms"
+            f" (worker-side {s['worker_seconds'] * 1e3:.1f} ms)"
+        )
+
+
+def test_warm_start_speedup():
+    """Warm >=5x cold over the suite; outputs bit-identical both backends."""
+    rows, store, cold_total, warm_total = race(KERNEL_SIZES)
+    first, second = batch_race(KERNEL_SIZES)
+    report(rows, store, cold_total, warm_total, first, second)
+    speedup = cold_total / warm_total
+    assert speedup >= TARGET_SPEEDUP, (
+        f"warm-start speedup regressed: {speedup:.2f}x < {TARGET_SPEEDUP}x"
+        f" (cold {cold_total:.3f}s, warm {warm_total:.3f}s)"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="hit/miss + bit-exactness + batch-driver check on small"
+        " workloads; no timing assertions (CI-safe)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        rows, store, cold_total, warm_total = race(SMOKE_SIZES)
+        first, second = batch_race(SMOKE_SIZES, max_workers=2)
+        report(rows, store, cold_total, warm_total, first, second)
+        speedup = cold_total / warm_total if warm_total else float("inf")
+        print(f"smoke ok: {speedup:.1f}x (not asserted)")
+        return 0
+    test_warm_start_speedup()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -128,3 +128,45 @@ def print_eqsat_profile(rows) -> None:
     """Print a match/apply/rebuild breakdown table for saturation runs,
     so perf work has a profile to point at."""
     print(format_table(EQSAT_PROFILE_HEADER, rows))
+
+
+# -- warm-start (artifact cache) telemetry -------------------------------------
+
+ARTIFACT_HEADER = [
+    "workload",
+    "cache",
+    "compile",
+    "eqsat",
+    "restore",
+    "stores",
+]
+
+
+def artifact_row(label, report, seconds) -> list:
+    """One warm-start report row from a ``SelectionReport``.
+
+    ``report.artifact_cache`` says which path ran ("hit" restored the
+    artifact, "miss" paid saturation + codegen); ``seconds`` is the
+    caller-measured end-to-end compile wall-clock.
+    """
+    return [
+        label,
+        report.artifact_cache or "-",
+        f"{seconds * 1e3:.2f} ms",
+        f"{report.eqsat_seconds * 1e3:.2f} ms",
+        f"{report.restore_seconds * 1e3:.2f} ms",
+        f"{report.num_mapped}/{report.num_stores}",
+    ]
+
+
+def print_artifact_report(rows, store=None) -> None:
+    """Print per-workload artifact-cache rows plus store counters."""
+    print(format_table(ARTIFACT_HEADER, rows))
+    if store is not None:
+        stats = store.stats
+        print(
+            f"store: {stats.hits} hits, {stats.misses} misses"
+            f" ({stats.stale} stale), {stats.writes} writes,"
+            f" load {stats.load_seconds * 1e3:.2f} ms /"
+            f" write {stats.store_seconds * 1e3:.2f} ms"
+        )

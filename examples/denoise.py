@@ -1,7 +1,10 @@
 """DCT-domain denoising with four fused Tensor-Core MatMuls (§V-E).
 
 Run:  python examples/denoise.py
+      python examples/denoise.py --cache-dir /tmp/repro-cache   # warm start
 """
+
+import argparse
 
 import numpy as np
 
@@ -9,8 +12,10 @@ from repro.apps import dct_denoise
 from repro.runtime import Counters
 
 
-def main():
-    app = dct_denoise.build("tensor", num_tiles=16)
+def main(cache_dir=None):
+    app = dct_denoise.build("tensor", num_tiles=16, cache_dir=cache_dir)
+    if cache_dir is not None:
+        print(f"artifact cache: {app.report.artifact_cache}")
     counters = Counters()
     out = app.run(counters)
     ref = app.reference()
@@ -31,4 +36,10 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="warm-start artifact directory (repro.service)",
+    )
+    main(parser.parse_args().cache_dir)

@@ -5,7 +5,10 @@ single-channel row convolution with a custom kernel.  HARDBOILED maps it
 onto m32n8k16 WMMA MMAs against a Toeplitz matrix.
 
 Run:  python examples/image_sharpen.py
+      python examples/image_sharpen.py --cache-dir /tmp/repro-cache
 """
+
+import argparse
 
 import numpy as np
 
@@ -14,7 +17,7 @@ from repro.hardboiled import compile_tensorized
 from repro.runtime import Counters
 
 
-def main():
+def main(cache_dir=None):
     taps = 16
     width, rows = 1024, 8
 
@@ -39,7 +42,7 @@ def main():
         rxi, xi, rx, x
     ).atomic().vectorize(xi).vectorize(rxi)
 
-    pipeline, report = compile_tensorized(sharp)
+    pipeline, report = compile_tensorized(sharp, cache_dir=cache_dir)
     print(report.summary())
 
     rng = np.random.default_rng(1)
@@ -71,4 +74,10 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="warm-start artifact directory (repro.service)",
+    )
+    main(parser.parse_args().cache_dir)

@@ -2,15 +2,23 @@
 
 Run:  PYTHONPATH=src python examples/quickstart.py
       PYTHONPATH=src python examples/quickstart.py --backend compile
+      PYTHONPATH=src python examples/quickstart.py --cache-dir /tmp/repro-cache
 
 The pipeline is executed through the selected runtime backend:
 ``interpret`` is the instrumented tree-walking interpreter (collects the
 op/byte counters the roofline model consumes), ``compile`` is the
 compiled NumPy backend (fast, uncounted), and ``both`` runs the two and
 checks they agree.
+
+With ``--cache-dir`` the compile goes through the warm-start artifact
+store (``repro.service``): the first run reports an artifact-cache
+*miss* and persists the selected statement + generated kernel; run the
+same command again and the second process reports a *hit*, skipping
+equality saturation and codegen entirely.
 """
 
 import argparse
+import time
 
 import numpy as np
 
@@ -23,7 +31,7 @@ from repro.runtime.executor import CompiledPipeline
 from repro.targets.bfloat16 import round_to_bfloat16
 
 
-def main(backend: str = "both"):
+def main(backend: str = "both", cache_dir=None):
     # --- the algorithm: a bf16 MatMul, written naturally -----------------
     A = hl.ImageParam(hl.BFloat(16), 2, name="A")
     B = hl.ImageParam(hl.BFloat(16), 2, name="B")
@@ -44,7 +52,27 @@ def main(backend: str = "both"):
     lowered = lower(out)
     print("=== vectorized IR (before instruction selection) ===")
     print(print_stmt(lowered.stmt))
-    tensorized, report = select_instructions(lowered, strict=True)
+    pipeline = None
+    if cache_dir is not None:
+        # warm start: hit the artifact store instead of saturating
+        from repro.service import ArtifactStore, compile_lowered
+
+        start = time.perf_counter()
+        pipeline, report = compile_lowered(
+            lowered, ArtifactStore(cache_dir), backend="compile", strict=True
+        )
+        seconds = time.perf_counter() - start
+        tensorized = pipeline.lowered
+        print(
+            f"\n[warm-start] artifact cache {report.artifact_cache} in"
+            f" {seconds * 1e3:.1f} ms — run this command again to see"
+            " the other path"
+            if report.artifact_cache == "miss"
+            else f"\n[warm-start] artifact cache hit in {seconds * 1e3:.1f}"
+            " ms — equality saturation and codegen were skipped"
+        )
+    else:
+        tensorized, report = select_instructions(lowered, strict=True)
     print("\n=== after HARDBOILED ===")
     print(print_stmt(tensorized.stmt))
     print("\n" + report.summary())
@@ -55,7 +83,8 @@ def main(backend: str = "both"):
     b = round_to_bfloat16(rng.standard_normal((32, 16)).astype(np.float32))
     inputs = {A: a, B: b}
     reference = a.astype(np.float32) @ b.astype(np.float32)
-    pipeline = CompiledPipeline(tensorized)
+    if pipeline is None:
+        pipeline = CompiledPipeline(tensorized)
 
     if backend in ("interpret", "both"):
         counters = Counters()
@@ -84,4 +113,11 @@ if __name__ == "__main__":
         default="both",
         help="runtime execution backend (default: run and compare both)",
     )
-    main(parser.parse_args().backend)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="warm-start artifact directory; rerun with the same value"
+        " to watch the second process skip saturation and codegen",
+    )
+    args = parser.parse_args()
+    main(args.backend, cache_dir=args.cache_dir)

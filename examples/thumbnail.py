@@ -1,7 +1,10 @@
 """Generate a thumbnail via block-sparse Lanczos-3 resampling (§V-C).
 
 Run:  python examples/thumbnail.py
+      python examples/thumbnail.py --cache-dir /tmp/repro-cache   # warm start
 """
+
+import argparse
 
 import numpy as np
 
@@ -10,11 +13,14 @@ from repro.linalg import build_resample_matrix
 from repro.runtime import Counters
 
 
-def main():
+def main(cache_dir=None):
     in_size, out_size, columns = 512, 97, 64
     app = resample.build_pass(
         "tensor", in_size=in_size, out_size=out_size, columns=columns
     )
+    app.compile(cache_dir=cache_dir)
+    if cache_dir is not None:
+        print(f"artifact cache: {app.report.artifact_cache}")
     print(app.description)
     counters = Counters()
     blocks = app.run(counters)
@@ -39,4 +45,10 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="warm-start artifact directory (repro.service)",
+    )
+    main(parser.parse_args().cache_dir)

@@ -21,6 +21,7 @@ from ..hardboiled import SelectionReport, select_instructions
 from ..lowering import lower
 from ..runtime import Counters
 from ..runtime.executor import CompiledPipeline, _check_backend
+from ..runtime.kernel_cache import KernelCache
 
 
 @dataclass
@@ -40,10 +41,17 @@ class App:
     #: default execution backend: "interpret" (instrumented) or
     #: "compile" (fast NumPy kernels); see repro.runtime.executor
     backend: str = "interpret"
+    #: warm-start artifact directory (see repro.service); None compiles
+    #: from scratch every process
+    cache_dir: Optional[str] = None
     _pipeline: Optional[CompiledPipeline] = None
     _report: Optional[SelectionReport] = None
 
-    def compile(self) -> CompiledPipeline:
+    def compile(self, cache_dir: Optional[str] = None) -> CompiledPipeline:
+        if cache_dir is not None:
+            if self._pipeline is not None and cache_dir != self.cache_dir:
+                self._pipeline = None  # recompile through the store
+            self.cache_dir = cache_dir
         if (
             self._pipeline is not None
             and self._pipeline.backend != self.backend
@@ -55,10 +63,26 @@ class App:
         if self._pipeline is None:
             lowered = lower(self.output)
             if self.variant == "tensor":
+                if self.cache_dir is not None:
+                    # warm start: a matching on-disk artifact skips
+                    # saturation and codegen entirely
+                    from ..service import warm_compile
+
+                    self._pipeline, self._report = warm_compile(
+                        lowered, self.cache_dir, backend=self.backend
+                    )
+                    return self._pipeline
                 lowered, self._report = select_instructions(
                     lowered, strict=True
                 )
-            self._pipeline = CompiledPipeline(lowered, backend=self.backend)
+            kernel_cache = None
+            if self.cache_dir is not None:
+                # no selection to cache, but compiled kernels still
+                # persist via the kernel cache's disk tier
+                kernel_cache = KernelCache(disk_dir=self.cache_dir)
+            self._pipeline = CompiledPipeline(
+                lowered, backend=self.backend, kernel_cache=kernel_cache
+            )
         return self._pipeline
 
     @property

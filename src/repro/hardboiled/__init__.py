@@ -29,18 +29,41 @@ from .tile_extractor import (
 __all__ = [name for name in dir() if not name.startswith("_")]
 
 
-def compile_tensorized(output_func, iterations: int = 14, strict: bool = True):
+def compile_tensorized(
+    output_func,
+    iterations: int = 14,
+    strict: bool = True,
+    cache_dir=None,
+    backend: str = "interpret",
+    device="host",
+):
     """Lower a scheduled Func and run instruction selection.
 
     Returns ``(CompiledPipeline, SelectionReport)``.  With ``strict`` a
     store the schedule placed in accelerator memory that cannot be mapped
     raises :class:`SelectionError` (selection is hit-or-miss, §III-D.3).
+
+    With ``cache_dir`` the compile goes through the warm-start artifact
+    store (:mod:`repro.service`): a process that finds a matching
+    artifact skips equality saturation and codegen entirely and the
+    report's ``artifact_cache`` says which path ran.
     """
     from ..lowering import lower
     from ..runtime.executor import CompiledPipeline
 
     lowered = lower(output_func)
+    if cache_dir is not None:
+        from ..service import warm_compile
+
+        return warm_compile(
+            lowered,
+            cache_dir,
+            backend=backend,
+            device=device,
+            iterations=iterations,
+            strict=strict,
+        )
     tensorized, report = select_instructions(
         lowered, iterations=iterations, strict=strict
     )
-    return CompiledPipeline(tensorized), report
+    return CompiledPipeline(tensorized, backend=backend), report

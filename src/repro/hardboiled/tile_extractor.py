@@ -88,22 +88,51 @@ class SelectionReport:
     #: saturation-phase breakdown summed over stores (match/apply/rebuild
     #: seconds plus round and match counters) — see ScheduleStats.profile
     eqsat_profile: Dict[str, float] = field(default_factory=dict)
+    # -- warm-start telemetry (populated by repro.service) -------------------
+    #: ``"hit"`` (selection skipped, artifact restored), ``"miss"``
+    #: (selection ran, artifact persisted), or None (no artifact store)
+    artifact_cache: Optional[str] = None
+    #: content digest of the artifact key consulted
+    artifact_key: Optional[str] = None
+    #: seconds spent loading + decoding the artifact on a hit
+    restore_seconds: float = 0.0
+    #: per-store rows ``{"name", "kind", "mapped"}`` restored from an
+    #: artifact (the live ``selections`` are not persisted — only their
+    #: outcome is)
+    restored_stores: List[Dict[str, object]] = field(default_factory=list)
 
     def _merge_profile(self, profile: Dict[str, float]) -> None:
         for key, value in profile.items():
             self.eqsat_profile[key] = self.eqsat_profile.get(key, 0) + value
 
+    def _mapped_flags(self) -> List[bool]:
+        return [bool(s.mapped) for s in self.selections] + [
+            bool(row["mapped"]) for row in self.restored_stores
+        ]
+
+    @property
+    def num_stores(self) -> int:
+        return len(self.selections) + len(self.restored_stores)
+
     @property
     def num_mapped(self) -> int:
-        return sum(1 for s in self.selections if s.mapped)
+        return sum(self._mapped_flags())
 
     @property
     def all_mapped(self) -> bool:
-        return all(s.mapped for s in self.selections)
+        return all(self._mapped_flags())
 
     @property
     def any_mapped(self) -> bool:
-        return any(s.mapped for s in self.selections)
+        return any(self._mapped_flags())
+
+    def store_rows(self) -> List[Dict[str, object]]:
+        """``{"name", "kind", "mapped"}`` per store — the persistable
+        outcome of selection, whether it ran live or was restored."""
+        return [
+            {"name": s.original.name, "kind": s.kind, "mapped": s.mapped}
+            for s in self.selections
+        ] + [dict(row) for row in self.restored_stores]
 
     def summary(self) -> str:
         lines = []
@@ -113,6 +142,20 @@ class SelectionReport:
                 f"store to {s.original.name!r} [{s.kind}]: {status}"
                 f" ({s.eqsat_seconds * 1e3:.1f} ms,"
                 f" {s.egraph_nodes} e-nodes)"
+            )
+        for row in self.restored_stores:
+            status = "mapped" if row["mapped"] else "NOT MAPPED"
+            lines.append(
+                f"store to {row['name']!r} [{row['kind']}]: {status}"
+                " (restored from artifact cache)"
+            )
+        if self.artifact_cache is not None:
+            key = (self.artifact_key or "")[:12]
+            lines.append(
+                f"artifact cache: {self.artifact_cache} [{key}...]"
+                f" ({self.restore_seconds * 1e3:.1f} ms restore)"
+                if self.artifact_cache == "hit"
+                else f"artifact cache: {self.artifact_cache} [{key}...]"
             )
         return "\n".join(lines)
 

@@ -781,12 +781,16 @@ class CompiledKernel:
         key: str,
         needs_interp: bool,
         is_fallback: bool = False,
+        globals_map: Optional[Dict[str, object]] = None,
     ) -> None:
         self.fn = fn
         self.source = source
         self.key = key
         self.needs_interp = needs_interp
         self.is_fallback = is_fallback
+        #: emitter-injected constants (offset tables, dtypes, intrinsic
+        #: cores) — retained so the kernel can be serialized to disk
+        self.globals_map = globals_map
 
     def __call__(self, buffers: Dict[str, Buffer], env: dict) -> None:
         interp = None
@@ -815,7 +819,11 @@ def compile_stmt(stmt: S.Stmt, key: str = "") -> CompiledKernel:
         namespace.update(emitter.globals)
         exec(code, namespace)
         return CompiledKernel(
-            namespace["_kernel"], src, key, emitter.needs_interp
+            namespace["_kernel"],
+            src,
+            key,
+            emitter.needs_interp,
+            globals_map=emitter.globals,
         )
     except CodegenError:
         def fallback(buffers, env, interp):
@@ -824,3 +832,58 @@ def compile_stmt(stmt: S.Stmt, key: str = "") -> CompiledKernel:
         return CompiledKernel(
             fallback, None, key, needs_interp=True, is_fallback=True
         )
+
+
+# -- kernel (de)serialization --------------------------------------------------
+#
+# A compiled kernel is plain Python source plus a dict of injected
+# constants (numpy offset tables, dtype objects, intrinsic cores picked
+# by reference).  Both halves are picklable, so a kernel compiled in one
+# process can be persisted and re-hydrated in another without running
+# codegen again — the warm-start artifact store and the kernel cache's
+# disk tier (see :mod:`repro.service.store` and :mod:`.kernel_cache`)
+# both build on this pair.  Interpreter-fallback kernels close over the
+# statement itself and are cheap to rebuild, so they are not
+# serializable (``serialize_kernel`` returns ``None``).
+
+#: bump when the emitted-source contract changes; stale payloads on
+#: disk are rejected and recompiled rather than mis-executed
+KERNEL_FORMAT_VERSION = 1
+
+
+def serialize_kernel(kernel: CompiledKernel) -> Optional[dict]:
+    """A picklable payload for ``kernel``, or None if not serializable."""
+    if kernel.source is None or kernel.globals_map is None:
+        return None
+    return {
+        "format": KERNEL_FORMAT_VERSION,
+        "key": kernel.key,
+        "source": kernel.source,
+        "globals": kernel.globals_map,
+        "needs_interp": kernel.needs_interp,
+    }
+
+
+def deserialize_kernel(payload: dict) -> CompiledKernel:
+    """Re-hydrate a kernel from :func:`serialize_kernel`'s payload.
+
+    Raises :class:`CodegenError` on a format-version mismatch, so
+    callers treat stale payloads as cache misses.
+    """
+    if payload.get("format") != KERNEL_FORMAT_VERSION:
+        raise CodegenError(
+            f"kernel payload format {payload.get('format')!r} !="
+            f" {KERNEL_FORMAT_VERSION}"
+        )
+    key = payload["key"]
+    code = compile(payload["source"], f"<kernel {key[:12] or 'anon'}>", "exec")
+    namespace = dict(_HELPER_GLOBALS)
+    namespace.update(payload["globals"])
+    exec(code, namespace)
+    return CompiledKernel(
+        namespace["_kernel"],
+        payload["source"],
+        key,
+        payload["needs_interp"],
+        globals_map=payload["globals"],
+    )

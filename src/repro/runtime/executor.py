@@ -71,6 +71,40 @@ class CompiledPipeline:
         #: kernel-cache key, computed once — the lowered stmt is immutable
         self._cache_key: Optional[str] = None
 
+    @property
+    def cache_key(self) -> str:
+        """The kernel-cache key (structural stmt fingerprint), memoized."""
+        if self._cache_key is None:
+            self._cache_key = fingerprint_stmt(self.lowered.stmt)
+        return self._cache_key
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss accounting of this pipeline's kernel cache.
+
+        Keys: ``hits`` (in-memory), ``disk_hits`` (satisfied by the
+        cache's disk tier), ``misses`` (codegen ran), ``entries``.
+        Note the cache may be the shared process-wide default, in which
+        case the counters aggregate over every pipeline using it.
+        """
+        return self.kernel_cache.stats()
+
+    def seed_kernel(self, kernel) -> None:
+        """Install a restored kernel so the first compiled run skips codegen.
+
+        The warm-start path (:mod:`repro.service`) re-hydrates kernels
+        from on-disk compile artifacts; seeding puts one into this
+        pipeline's kernel cache under this pipeline's key.  A kernel
+        whose recorded key disagrees with the lowered statement's
+        fingerprint is rejected (it was compiled from different IR).
+        """
+        if kernel.key and kernel.key != self.cache_key:
+            raise ValueError(
+                f"kernel key {kernel.key[:12]}... does not match this"
+                f" pipeline's statement ({self.cache_key[:12]}...)"
+            )
+        self.kernel_cache.put(self.cache_key, kernel)
+
     def run(
         self,
         inputs: Optional[InputMap] = None,
@@ -104,9 +138,7 @@ class CompiledPipeline:
                 if d > 0:
                     env[f"{name}.stride.{d}"] = stride
         if mode == "compile":
-            if self._cache_key is None:
-                self._cache_key = fingerprint_stmt(self.lowered.stmt)
-            kernel = self.kernel_cache.get(self.lowered, key=self._cache_key)
+            kernel = self.kernel_cache.get(self.lowered, key=self.cache_key)
             kernel(buffers, env)
             return out.to_numpy()
         interp = Interpreter(buffers, counters)

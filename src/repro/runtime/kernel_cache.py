@@ -13,13 +13,26 @@ The IR is built from frozen dataclasses whose ``repr`` is complete and
 deterministic (every field, recursively, including dtypes and loop
 kinds), so hashing the repr is a stable fingerprint without a bespoke
 serializer.
+
+The cache has two tiers:
+
+* an in-memory LRU (always on) — hits cost a dict lookup;
+* an optional on-disk tier (``disk_dir=...``) — kernels are persisted
+  as pickled source + injected constants
+  (:func:`repro.runtime.codegen.serialize_kernel`), so a *fresh
+  process* re-hydrates a kernel instead of re-running codegen.  Disk
+  writes are atomic (write-to-temp + ``os.replace``), so any number of
+  concurrent processes may share one directory.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..ir import Stmt
 
@@ -33,28 +46,100 @@ def fingerprint_stmt(stmt: Stmt) -> str:
     return hashlib.sha256(repr(stmt).encode("utf-8")).hexdigest()
 
 
-class KernelCache:
-    """An LRU cache of compiled kernels with hit/miss accounting."""
+#: everything a pickled payload written by another (possibly newer or
+#: older) process can throw while being loaded or re-hydrated: torn
+#: bytes, renamed classes/modules, format drift.  Shared by this
+#: module's disk tier and :mod:`repro.service.store` so the two
+#: content-addressed stores never disagree on what "corrupt" means.
+PICKLE_LOAD_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    OSError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    ImportError,
+    SyntaxError,
+    ValueError,
+    TypeError,
+)
 
-    def __init__(self, maxsize: int = 256) -> None:
+
+def sharded_path(root: str, key: str, suffix: str) -> str:
+    """``<root>/<key[:2]>/<key><suffix>`` — the shared content-addressed
+    disk layout (two-level sharding keeps directories small)."""
+    return os.path.join(root, key[:2], key + suffix)
+
+
+def atomic_write_bytes(path: str, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` atomically (temp file + rename).
+
+    Readers either see the old contents or the new contents, never a
+    torn write — concurrent writers simply race on who renames last.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class KernelCache:
+    """A two-tier (LRU + optional disk) kernel cache with accounting."""
+
+    def __init__(
+        self, maxsize: int = 256, disk_dir: Optional[str] = None
+    ) -> None:
         self.maxsize = maxsize
+        self.disk_dir = disk_dir
         self.hits = 0
         self.misses = 0
+        #: in-memory misses satisfied by the disk tier (a fresh process
+        #: skipping codegen); disk hits are not counted as misses
+        self.disk_hits = 0
         self._kernels: "OrderedDict[str, CompiledKernel]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._kernels)
 
     def clear(self) -> None:
+        """Drop the in-memory tier and reset counters (disk survives)."""
         self._kernels.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits / misses / disk_hits / entries."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._kernels),
+        }
 
     def lookup(self, key: str) -> Optional["CompiledKernel"]:
         kernel = self._kernels.get(key)
         if kernel is not None:
             self._kernels.move_to_end(key)
         return kernel
+
+    def put(self, key: str, kernel: "CompiledKernel") -> None:
+        """Install a kernel (e.g. one restored from a compile artifact)."""
+        self._kernels[key] = kernel
+        self._kernels.move_to_end(key)
+        while len(self._kernels) > self.maxsize:
+            self._kernels.popitem(last=False)
 
     def get(
         self, lowered: "Lowered", key: Optional[str] = None
@@ -72,12 +157,57 @@ class KernelCache:
         if kernel is not None:
             self.hits += 1
             return kernel
+        kernel = self._disk_load(key)
+        if kernel is not None:
+            self.disk_hits += 1
+            self.put(key, kernel)
+            return kernel
         self.misses += 1
         kernel = compile_stmt(lowered.stmt, key=key)
-        self._kernels[key] = kernel
-        while len(self._kernels) > self.maxsize:
-            self._kernels.popitem(last=False)
+        self.put(key, kernel)
+        self._disk_store(kernel)
         return kernel
+
+    # -- disk tier -------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        return sharded_path(self.disk_dir, key, ".kernel")
+
+    def _disk_load(self, key: str) -> Optional["CompiledKernel"]:
+        if self.disk_dir is None:
+            return None
+        from .codegen import CodegenError, deserialize_kernel
+
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("key") != key:
+                return None
+            return deserialize_kernel(payload)
+        except FileNotFoundError:
+            return None
+        except (CodegenError, *PICKLE_LOAD_ERRORS):
+            # stale format / torn legacy file / unimportable constant:
+            # drop it and let the caller recompile
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, kernel: "CompiledKernel") -> None:
+        if self.disk_dir is None or not kernel.key:
+            return
+        from .codegen import serialize_kernel
+
+        payload = serialize_kernel(kernel)
+        if payload is None:  # interpreter fallback: cheap to rebuild
+            return
+        atomic_write_bytes(
+            self._disk_path(kernel.key),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
 
 #: process-wide cache used by :class:`repro.runtime.executor.CompiledPipeline`

@@ -1,0 +1,69 @@
+"""The warm-start compile service (compile once, serve many).
+
+Every process used to pay full equality-saturation and codegen cost
+from scratch; this package adds the persistence and batching layer on
+top of the compiler:
+
+* :mod:`.fingerprint` — content-addressed artifact keys: pre-selection
+  statement fingerprint x rule-set fingerprint x backend x device.
+* :mod:`.store` — the on-disk :class:`ArtifactStore`: atomic writes,
+  stale/corrupt artifacts rejected on read, safe for any number of
+  concurrent compilers.
+* :mod:`.compile` — :func:`warm_select` / :func:`compile_lowered`: the
+  hit path restores the tensorized statement and the generated NumPy
+  kernel, skipping saturation *and* codegen entirely.
+* :mod:`.batch` — :class:`BatchCompiler`: precompile a catalog of apps
+  into one shared store over worker processes.
+
+Quick tour::
+
+    from repro.lowering import lower
+    from repro.service import ArtifactStore, compile_lowered
+
+    store = ArtifactStore("/var/cache/repro-artifacts")
+    pipeline, report = compile_lowered(
+        lower(out), store, backend="compile", strict=True
+    )
+    print(report.artifact_cache)      # "miss" the first time, then "hit"
+    result = pipeline.run(inputs)     # kernel already seeded on a hit
+"""
+
+from .batch import BatchCompiler, BatchReport, CompileJob, JobResult, compile_one
+from .compile import (
+    WarmCompileResult,
+    compile_lowered,
+    warm_compile,
+    warm_select,
+)
+from .fingerprint import (
+    ArtifactKey,
+    fingerprint_families,
+    rule_fingerprint,
+    ruleset_fingerprint,
+)
+from .store import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactStore,
+    CompileArtifact,
+    StoreStats,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactKey",
+    "ArtifactStore",
+    "BatchCompiler",
+    "BatchReport",
+    "CompileArtifact",
+    "CompileJob",
+    "JobResult",
+    "StoreStats",
+    "WarmCompileResult",
+    "compile_lowered",
+    "compile_one",
+    "fingerprint_families",
+    "rule_fingerprint",
+    "ruleset_fingerprint",
+    "warm_compile",
+    "warm_select",
+]

@@ -1,0 +1,206 @@
+"""The parallel batch driver: compile many apps into one shared store.
+
+A production service does not compile pipelines one at a time on the
+serving path — it precompiles its catalog into the artifact store
+(deploy time, cron, or a warming sidecar) so serving processes only
+ever take the hit path.  :class:`BatchCompiler` is that driver: it fans
+a list of :class:`CompileJob` specs out over ``concurrent.futures``
+worker *processes* (saturation is pure Python and CPU-bound, so threads
+would serialize on the GIL) and each worker merges its artifacts into
+the shared store with atomic writes — concurrent workers never corrupt
+it, and two workers racing on the same key simply persist equivalent
+artifacts.
+
+Jobs are *specs* (app module, builder, params), not live ``App``
+objects: an ``App`` closes over its NumPy reference function and is not
+picklable, while a spec crosses the process boundary trivially and the
+worker rebuilds the app from the registry — the same shape as a compile
+request arriving over the wire.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .store import ArtifactStore
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One compile request: ``repro.apps.<app>.<builder>(variant, **params)``."""
+
+    #: module name under ``repro.apps`` (e.g. ``"conv1d"``)
+    app: str
+    #: builder variant: ``"cuda"`` or ``"tensor"`` (None for builders
+    #: that take no variant, e.g. ``matmul.build_amx``)
+    variant: Optional[str] = "tensor"
+    #: builder function name inside the app module
+    builder: str = "build"
+    #: keyword arguments for the builder (must be picklable)
+    params: tuple = ()
+    #: execution backend the artifact targets
+    backend: str = "compile"
+
+    @classmethod
+    def make(
+        cls,
+        app: str,
+        variant: Optional[str] = "tensor",
+        builder: str = "build",
+        backend: str = "compile",
+        **params,
+    ) -> "CompileJob":
+        return cls(
+            app=app,
+            variant=variant,
+            builder=builder,
+            params=tuple(sorted(params.items())),
+            backend=backend,
+        )
+
+    @property
+    def label(self) -> str:
+        args = [repr(self.variant)] if self.variant is not None else []
+        args += [f"{k}={v!r}" for k, v in self.params]
+        return f"{self.app}.{self.builder}({', '.join(args)})"
+
+    def build_app(self):
+        """Materialize the App this job describes (in this process)."""
+        module = importlib.import_module(f"repro.apps.{self.app}")
+        builder = getattr(module, self.builder)
+        params = dict(self.params)
+        if self.variant is not None:
+            return builder(self.variant, **params)
+        return builder(**params)
+
+
+@dataclass
+class JobResult:
+    """Per-job telemetry returned from a worker."""
+
+    job: CompileJob
+    #: ``"hit"`` / ``"miss"`` (None when the job errored)
+    cache: Optional[str] = None
+    #: worker-side wall-clock seconds for lower + warm compile
+    seconds: float = 0.0
+    #: saturation seconds actually paid (0.0 on a hit)
+    eqsat_seconds: float = 0.0
+    num_stores: int = 0
+    all_mapped: bool = True
+    key_digest: str = ""
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def compile_one(job: CompileJob, store_root: str, device: str) -> JobResult:
+    """Compile one job into the store (runs inside a worker process)."""
+    from ..lowering import lower
+    from .compile import warm_select
+
+    try:
+        start = time.perf_counter()
+        app = job.build_app()
+        lowered = lower(app.output)
+        result = warm_select(
+            lowered,
+            ArtifactStore(store_root),
+            backend=job.backend,
+            device=device,
+            strict=True,
+        )
+        report = result.report
+        return JobResult(
+            job=job,
+            cache=report.artifact_cache,
+            seconds=time.perf_counter() - start,
+            eqsat_seconds=report.eqsat_seconds,
+            num_stores=report.num_stores,
+            all_mapped=report.all_mapped,
+            key_digest=result.key.digest,
+        )
+    except Exception as exc:  # crossing a process boundary: flatten
+        return JobResult(job=job, error=f"{type(exc).__name__}: {exc}")
+
+
+@dataclass
+class BatchReport:
+    results: List[JobResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.results if r.cache == "hit")
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for r in self.results if r.cache == "miss")
+
+    @property
+    def errors(self) -> List[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "jobs": len(self.results),
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": len(self.errors),
+            "wall_seconds": self.wall_seconds,
+            "worker_seconds": sum(r.seconds for r in self.results),
+            "eqsat_seconds": sum(r.eqsat_seconds for r in self.results),
+        }
+
+
+class BatchCompiler:
+    """Compile a catalog of jobs into one shared artifact store."""
+
+    def __init__(
+        self,
+        store_root: str,
+        max_workers: Optional[int] = None,
+        device: object = "host",
+    ) -> None:
+        self.store_root = str(store_root)
+        self.max_workers = max_workers
+        self.device = getattr(device, "name", None) or str(device)
+        # create the root eagerly so workers never race on mkdir
+        ArtifactStore(self.store_root)
+
+    def compile_many(self, jobs: Sequence[CompileJob]) -> BatchReport:
+        """Run every job; in-process when ``max_workers == 1``, else in
+        a ``concurrent.futures`` process pool.  Job failures are
+        captured per-result, never raised out of the batch."""
+        start = time.perf_counter()
+        if self.max_workers == 1 or len(jobs) <= 1:
+            results = [
+                compile_one(job, self.store_root, self.device) for job in jobs
+            ]
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [
+                    pool.submit(compile_one, job, self.store_root, self.device)
+                    for job in jobs
+                ]
+                results = []
+                for job, future in zip(jobs, futures):
+                    try:
+                        results.append(future.result())
+                    except Exception as exc:
+                        # a worker died outright (OOM-kill, segfault):
+                        # the pool is broken but completed results and
+                        # the per-job error contract survive
+                        results.append(
+                            JobResult(
+                                job=job,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+        return BatchReport(results, wall_seconds=time.perf_counter() - start)

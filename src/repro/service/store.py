@@ -1,0 +1,216 @@
+"""The on-disk compile-artifact store.
+
+One artifact is the complete output of the expensive half of a compile:
+the post-selection **tensorized statement** (so a fresh process skips
+equality saturation) and, for the compiled backend, the generated
+**kernel payload** — NumPy source plus injected constants (so codegen
+is skipped too).  Artifacts are content-addressed by
+:class:`~.fingerprint.ArtifactKey` and laid out as::
+
+    <root>/<digest[:2]>/<digest>.artifact       (pickle)
+
+Writes are atomic — the payload is written to a temp file in the same
+directory and ``os.replace``-d into place — so concurrent compilers
+(the :class:`~.batch.BatchCompiler` worker processes, or independent
+services sharing a network volume) can merge into one store without a
+lock and without ever exposing a torn artifact.  Readers validate the
+embedded key and format version; anything stale or corrupt is treated
+as a miss (and unlinked), never served.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..ir import Stmt
+from ..runtime.kernel_cache import (
+    PICKLE_LOAD_ERRORS,
+    atomic_write_bytes,
+    sharded_path,
+)
+from .fingerprint import ArtifactKey
+
+#: bump when the artifact layout changes; old artifacts become misses
+ARTIFACT_FORMAT_VERSION = 1
+
+
+@dataclass
+class CompileArtifact:
+    """Everything a warm start needs, decoupled from the live process."""
+
+    #: the digest of the key this artifact was stored under
+    key_digest: str
+    #: the four key components, for post-load validation
+    key: ArtifactKey
+    #: the post-selection (tensorized) statement
+    stmt: Stmt
+    #: per-store selection outcome rows ``{"name", "kind", "mapped"}``
+    store_rows: List[Dict[str, object]] = field(default_factory=list)
+    #: :func:`repro.runtime.codegen.serialize_kernel` payload, or None
+    #: for interpret-backend artifacts / fallback kernels
+    kernel: Optional[dict] = None
+    #: seconds the original (cold) selection spent in equality saturation
+    cold_eqsat_seconds: float = 0.0
+    #: wall-clock seconds the original cold compile paid end to end
+    cold_seconds: float = 0.0
+    format_version: int = ARTIFACT_FORMAT_VERSION
+
+
+@dataclass
+class StoreStats:
+    """Lookup/write accounting for one :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: artifacts found on disk but rejected (format/key mismatch, torn
+    #: or unreadable payload) — counted *in addition to* a miss
+    stale: int = 0
+    writes: int = 0
+    #: persists that failed (read-only mount, disk full) and were
+    #: skipped — the compile itself still succeeds
+    write_errors: int = 0
+    load_seconds: float = 0.0
+    store_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "load_seconds": self.load_seconds,
+            "store_seconds": self.store_seconds,
+        }
+
+
+class ArtifactStore:
+    """A content-addressed, multi-process-safe artifact directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.stats = StoreStats()
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({self.root!r}, {len(self)} artifacts)"
+
+    def path_for(self, digest: str) -> str:
+        return sharded_path(self.root, digest, ".artifact")
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: ArtifactKey) -> Optional[CompileArtifact]:
+        """The artifact for ``key``, or None (miss or stale)."""
+        digest = key.digest
+        path = self.path_for(digest)
+        start = time.perf_counter()
+        try:
+            with open(path, "rb") as handle:
+                artifact = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            self.stats.load_seconds += time.perf_counter() - start
+            return None
+        except PICKLE_LOAD_ERRORS:
+            self._reject(path)
+            self.stats.load_seconds += time.perf_counter() - start
+            return None
+        if (
+            not isinstance(artifact, CompileArtifact)
+            or artifact.format_version != ARTIFACT_FORMAT_VERSION
+            or artifact.key_digest != digest
+            or artifact.key != key
+        ):
+            self._reject(path)
+            self.stats.load_seconds += time.perf_counter() - start
+            return None
+        self.stats.hits += 1
+        self.stats.load_seconds += time.perf_counter() - start
+        return artifact
+
+    def _reject(self, path: str) -> None:
+        """Count a stale artifact and drop it from the store."""
+        self.stats.stale += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def demote_hit(self, key: ArtifactKey) -> None:
+        """Reclassify the most recent hit on ``key`` as stale.
+
+        For callers that discover *after* a successful ``get`` that the
+        artifact is unusable (e.g. its embedded kernel payload predates
+        the current kernel format): the served-artifact is unlinked and
+        the counters read as if the lookup had missed, so the two
+        telemetry surfaces (store stats, ``SelectionReport``) agree.
+        """
+        self.stats.hits -= 1
+        self._reject(self.path_for(key.digest))
+
+    # -- storage ---------------------------------------------------------------
+
+    def put(self, key: ArtifactKey, artifact: CompileArtifact) -> str:
+        """Persist ``artifact`` under ``key`` atomically; returns the path.
+
+        Last writer wins; because the store is content-addressed, any
+        two writers racing on one digest are persisting equivalent
+        compiles of the same statement under the same rules.
+        """
+        digest = key.digest
+        artifact.key_digest = digest
+        artifact.key = key
+        start = time.perf_counter()
+        path = self.path_for(digest)
+        atomic_write_bytes(
+            path, pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self.stats.writes += 1
+        self.stats.store_seconds += time.perf_counter() - start
+        return path
+
+    def try_put(
+        self, key: ArtifactKey, artifact: CompileArtifact
+    ) -> Optional[str]:
+        """:meth:`put`, but an unwritable store degrades to "not cached".
+
+        A serving replica on a read-only mount (or a full disk) must
+        still be able to *compile* — it just cannot warm anyone else.
+        Returns the path, or None when the write was skipped.
+        """
+        try:
+            return self.put(key, artifact)
+        except OSError:
+            self.stats.write_errors += 1
+            return None
+
+    # -- maintenance -----------------------------------------------------------
+
+    def digests(self) -> Iterator[str]:
+        """All artifact digests currently on disk."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for entry in sorted(os.listdir(shard_dir)):
+                if entry.endswith(".artifact"):
+                    yield entry[: -len(".artifact")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def clear(self) -> None:
+        """Remove every artifact (leaves the directory in place)."""
+        for digest in list(self.digests()):
+            try:
+                os.unlink(self.path_for(digest))
+            except OSError:
+                pass

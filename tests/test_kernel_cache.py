@@ -68,6 +68,82 @@ class TestMemoization:
         assert cache.misses == 4
 
 
+class TestDiskTier:
+    def test_fresh_process_hits_disk_instead_of_recompiling(self, tmp_path):
+        inp, f = build_pipeline()
+        inputs = make_inputs(inp)
+        hot = KernelCache(disk_dir=str(tmp_path))
+        p1 = CompiledPipeline(lower(f), "compile", kernel_cache=hot)
+        out1 = p1.run(inputs)
+        assert (hot.misses, hot.disk_hits) == (1, 0)
+
+        # a fresh cache over the same directory = a fresh process
+        cold = KernelCache(disk_dir=str(tmp_path))
+        _, f2 = build_pipeline()
+        p2 = CompiledPipeline(lower(f2), "compile", kernel_cache=cold)
+        out2 = p2.run(inputs)
+        assert (cold.misses, cold.disk_hits, cold.hits) == (0, 1, 0)
+        np.testing.assert_array_equal(out1, out2)
+        # after re-hydration the kernel lives in memory: next run is a hit
+        p2.run(inputs)
+        assert cold.hits == 1
+
+    def test_unimportable_disk_entry_recompiles(self, tmp_path):
+        """A payload pickled against a module that no longer exists is
+        dropped and recompiled, not raised out of run()."""
+        inp, f = build_pipeline()
+        cache = KernelCache(disk_dir=str(tmp_path))
+        lowered = lower(f)
+        kernel = cache.get(lowered)
+        path = cache._disk_path(kernel.key)
+        with open(path, "wb") as handle:
+            # a GLOBAL opcode referencing a module that does not exist:
+            # pickle.load raises ModuleNotFoundError
+            handle.write(b"cno_such_module_xyz\nattr\n.")
+        fresh = KernelCache(disk_dir=str(tmp_path))
+        fresh.get(lowered)
+        assert (fresh.misses, fresh.disk_hits) == (1, 0)
+        # the recompile re-persisted a loadable entry
+        assert fresh._disk_load(kernel.key) is not None
+
+    def test_corrupt_disk_entry_recompiles(self, tmp_path):
+        inp, f = build_pipeline()
+        cache = KernelCache(disk_dir=str(tmp_path))
+        lowered = lower(f)
+        kernel = cache.get(lowered)
+        path = cache._disk_path(kernel.key)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        fresh = KernelCache(disk_dir=str(tmp_path))
+        fresh.get(lowered)
+        assert (fresh.misses, fresh.disk_hits) == (1, 0)
+
+    def test_pipeline_exposes_cache_stats(self):
+        cache = KernelCache()
+        inp, f = build_pipeline()
+        pipe = CompiledPipeline(lower(f), "compile", kernel_cache=cache)
+        assert pipe.cache_stats == {
+            "hits": 0, "misses": 0, "disk_hits": 0, "entries": 0,
+        }
+        pipe.run(make_inputs(inp))
+        pipe.run(make_inputs(inp))
+        stats = pipe.cache_stats
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (1, 1, 1)
+
+    def test_seed_kernel_rejects_foreign_kernel(self):
+        from repro.runtime.codegen import compile_stmt
+
+        inp, f = build_pipeline()
+        _, other = build_pipeline(split=16)
+        pipe = CompiledPipeline(lower(f), "compile", kernel_cache=KernelCache())
+        other_lowered = lower(other)
+        foreign = compile_stmt(
+            other_lowered.stmt, key=fingerprint_stmt(other_lowered.stmt)
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            pipe.seed_kernel(foreign)
+
+
 class TestCounterRouting:
     def test_counters_force_interpreter(self):
         """Instrumented runs bypass the compiled backend entirely."""

@@ -3,6 +3,7 @@
 Run:  PYTHONPATH=src python examples/quickstart.py
       PYTHONPATH=src python examples/quickstart.py --backend compile
       PYTHONPATH=src python examples/quickstart.py --cache-dir /tmp/repro-cache
+      PYTHONPATH=src python examples/quickstart.py --serve 64
 
 The pipeline is executed through the selected runtime backend:
 ``interpret`` is the instrumented tree-walking interpreter (collects the
@@ -15,6 +16,12 @@ store (``repro.service``): the first run reports an artifact-cache
 *miss* and persists the selected statement + generated kernel; run the
 same command again and the second process reports a *hit*, skipping
 equality saturation and codegen entirely.
+
+With ``--serve N`` the compiled pipeline then serves a batch of N
+random requests through the batched serving runtime
+(``repro.service.Server``: per-worker execution plans + buffer
+arenas), comparing its throughput and outputs against the naive
+per-call ``run()`` loop.
 """
 
 import argparse
@@ -31,7 +38,47 @@ from repro.runtime.executor import CompiledPipeline
 from repro.targets.bfloat16 import round_to_bfloat16
 
 
-def main(backend: str = "both", cache_dir=None):
+def serve_batch(pipeline, A, B, count: int, workers: int = 2) -> None:
+    """Serve ``count`` random same-shaped requests, naive vs. batched."""
+    from repro.service import Server
+
+    rng = np.random.default_rng(1)
+    requests = [
+        {
+            A: round_to_bfloat16(
+                rng.standard_normal((16, 32)).astype(np.float32)
+            ),
+            B: round_to_bfloat16(
+                rng.standard_normal((32, 16)).astype(np.float32)
+            ),
+        }
+        for _ in range(count)
+    ]
+    pipeline.run(requests[0], backend="compile")  # warm the kernel cache
+    start = time.perf_counter()
+    naive = [pipeline.run(r, backend="compile") for r in requests]
+    naive_s = time.perf_counter() - start
+    with Server(pipeline, workers=workers, backend="compile") as server:
+        server.run_many(requests)  # bind the per-worker plans
+        start = time.perf_counter()
+        batched = server.run_many(requests)
+        batched_s = time.perf_counter() - start
+        stats = server.stats()
+    assert all(np.array_equal(a, b) for a, b in zip(naive, batched))
+    arena = stats["plans"][0]
+    print(
+        f"\n[serve]     {count} requests: naive per-call loop"
+        f" {naive_s * 1e3:.1f} ms, batched {batched_s * 1e3:.1f} ms"
+        f" ({naive_s / batched_s:.1f}x, {stats['workers']} workers,"
+        " outputs bit-identical)"
+    )
+    print(
+        f"[serve]     worker plan 0: {arena['buffer_reuses']} pooled"
+        f" allocations, {arena['memo_hits']} operand-memo hits"
+    )
+
+
+def main(backend: str = "both", cache_dir=None, serve: int = 0):
     # --- the algorithm: a bf16 MatMul, written naturally -----------------
     A = hl.ImageParam(hl.BFloat(16), 2, name="A")
     B = hl.ImageParam(hl.BFloat(16), 2, name="B")
@@ -104,6 +151,9 @@ def main(backend: str = "both", cache_dir=None):
         assert np.array_equal(result, compiled), "backends disagree"
         print("[both]      backends agree bit-for-bit")
 
+    if serve:
+        serve_batch(pipeline, A, B, serve)
+
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
@@ -119,5 +169,14 @@ if __name__ == "__main__":
         help="warm-start artifact directory; rerun with the same value"
         " to watch the second process skip saturation and codegen",
     )
+    parser.add_argument(
+        "--serve",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after compiling, serve N random requests through the"
+        " batched serving runtime and compare against the naive"
+        " per-call loop",
+    )
     args = parser.parse_args()
-    main(args.backend, cache_dir=args.cache_dir)
+    main(args.backend, cache_dir=args.cache_dir, serve=args.serve)

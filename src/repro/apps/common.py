@@ -100,6 +100,31 @@ class App:
             self.inputs, counters=counters, backend=backend
         )
 
+    def run_many(
+        self,
+        requests: Optional[list] = None,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> list:
+        """Serve a batch of requests through reusable execution plans.
+
+        Each request is an input map like :attr:`inputs` (same keys and
+        shapes, different data); ``None`` entries — or ``requests=None``
+        itself, meaning a single-request batch — reuse the app's bundled
+        inputs.  Fanned over ``workers`` threads with one plan + arena
+        per worker; see :meth:`CompiledPipeline.run_many
+        <repro.runtime.executor.CompiledPipeline.run_many>`.
+        """
+        if requests is None:
+            requests = [self.inputs]
+        requests = [
+            self.inputs if request is None else request
+            for request in requests
+        ]
+        return self.compile().run_many(
+            requests, workers=workers, backend=backend
+        )
+
     def run_and_measure(self):
         """Run once; returns (output, counters scaled to full size)."""
         counters = Counters()

@@ -9,11 +9,14 @@ from .buffer import Buffer
 from .counters import Counters
 from .interpreter import INTRINSICS, Interpreter, memory_level, register_intrinsic
 from .kernel_cache import DEFAULT_CACHE, KernelCache, fingerprint_stmt
+from .plan import BufferArena, ExecutionPlan
 
 __all__ = [
     "Buffer",
+    "BufferArena",
     "Counters",
     "DEFAULT_CACHE",
+    "ExecutionPlan",
     "INTRINSICS",
     "Interpreter",
     "KernelCache",

@@ -33,6 +33,14 @@ class Buffer:
         Where the buffer notionally lives; drives traffic accounting.
     is_external:
         True for pipeline inputs/outputs (counted as DRAM traffic).
+    data:
+        Initial contents.  A C-contiguous array of the buffer's exact
+        numpy dtype is wrapped **zero-copy** — ``self.data`` is a flat
+        view sharing the caller's memory.  A copy is made only when one
+        is unavoidable: a dtype conversion, a non-contiguous source, or
+        bfloat16 rounding.  Pipeline inputs are never stored to, so the
+        view is safe; callers that intend to mutate the buffer
+        independently of the source array should pass a copy.
     """
 
     def __init__(
@@ -56,19 +64,29 @@ class Buffer:
         if data is None:
             self.data = np.zeros(self.size, dtype=np_dtype)
         else:
+            # asarray is a no-op for a correctly-typed ndarray, and
+            # ravel() of a C-contiguous array is a view: a contiguous,
+            # correctly-typed input is wrapped without copying.  dtype
+            # conversion and non-contiguous layouts each cost exactly
+            # one copy (asarray / ravel respectively) — never two.
             flat = np.asarray(data, dtype=np_dtype).ravel()
             if flat.size != self.size:
                 raise ValueError(
                     f"data size {flat.size} != buffer size {self.size}"
                 )
-            self.data = flat.copy()
             if dtype.code is TypeCode.BFLOAT:
-                self.data = round_to_bfloat16(self.data)
+                # rounding allocates fresh storage, so bf16 ingest
+                # still isolates the buffer from the source array
+                flat = round_to_bfloat16(flat)
+            self.data = flat
         # per-element touched masks for footprint accounting; allocated
         # lazily so the compiled backend (which reads/writes .data
         # directly and never gathers) pays nothing for instrumentation
         self._load_mask: Optional[np.ndarray] = None
         self._store_mask: Optional[np.ndarray] = None
+        #: memoized dense strides — extents are immutable and the
+        #: interpreter's ``flatten_index`` reads this per element
+        self._strides: Optional[Tuple[int, ...]] = None
 
     @property
     def load_mask(self) -> np.ndarray:
@@ -86,12 +104,14 @@ class Buffer:
 
     @property
     def strides(self) -> Tuple[int, ...]:
-        strides = []
-        acc = 1
-        for extent in self.extents:
-            strides.append(acc)
-            acc *= extent
-        return tuple(strides)
+        if self._strides is None:
+            strides = []
+            acc = 1
+            for extent in self.extents:
+                strides.append(acc)
+                acc *= extent
+            self._strides = tuple(strides)
+        return self._strides
 
     def flatten_index(self, coords: Tuple[int, ...]) -> int:
         return int(sum(c * s for c, s in zip(coords, self.strides)))
@@ -107,7 +127,11 @@ class Buffer:
         memory_type: MemoryType = MemoryType.HEAP,
         is_external: bool = True,
     ) -> "Buffer":
-        """Wrap a numpy array; numpy's last axis becomes dimension 0."""
+        """Wrap a numpy array; numpy's last axis becomes dimension 0.
+
+        Zero-copy for C-contiguous arrays already of the buffer's
+        storage dtype; see :class:`Buffer` for when a copy is made.
+        """
         from ..ir.types import Float, Int, UInt
 
         if dtype is None:
@@ -128,7 +152,7 @@ class Buffer:
             extents,
             memory_type=memory_type,
             is_external=is_external,
-            data=np.ascontiguousarray(array),
+            data=array,
         )
 
     def to_numpy(self) -> np.ndarray:

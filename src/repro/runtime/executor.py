@@ -18,7 +18,8 @@ A :class:`CompiledPipeline` can execute through either backend:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import os
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from .buffer import Buffer
 from .counters import Counters
 from .interpreter import Interpreter
 from .kernel_cache import DEFAULT_CACHE, KernelCache, fingerprint_stmt
+from .plan import BufferArena, ExecutionPlan, bind_inputs, stride_env
 
 # importing the target simulators registers their intrinsic handlers
 from ..targets import amx as _amx  # noqa: F401
@@ -105,6 +107,73 @@ class CompiledPipeline:
             )
         self.kernel_cache.put(self.cache_key, kernel)
 
+    def plan(
+        self,
+        backend: Optional[str] = None,
+        arena: Optional[BufferArena] = None,
+    ) -> ExecutionPlan:
+        """An :class:`~.plan.ExecutionPlan` pre-bound for repeated runs.
+
+        The plan resolves the kernel once and reuses buffers, the
+        stride environment, and an allocation arena across calls, so a
+        steady-state ``plan.run(inputs)`` does no fingerprinting, no
+        kernel-cache lookup, no env rebuild, and no input copy for
+        contiguous correctly-typed arrays.  Plans are not thread-safe;
+        create one per worker (:meth:`run_many` does).
+        """
+        mode = (
+            _check_backend(backend) if backend is not None else self.backend
+        )
+        return ExecutionPlan(self, mode, arena=arena)
+
+    def run_many(
+        self,
+        requests: Sequence[Optional[InputMap]],
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> List[np.ndarray]:
+        """Run a batch of same-shaped requests, optionally in parallel.
+
+        Requests are fanned over ``workers`` threads (NumPy releases
+        the GIL inside kernels), each with its own
+        :class:`~.plan.ExecutionPlan` and arena; results are returned
+        in request order and are bit-identical to a sequential
+        ``run()`` loop on either backend.  ``workers=None`` picks
+        ``min(len(requests), cpu_count)``; ``workers=1`` runs the batch
+        on one plan in the calling thread.  Counters are not supported
+        here — use :meth:`run` for instrumented executions.
+        """
+        mode = (
+            _check_backend(backend) if backend is not None else self.backend
+        )
+        requests = list(requests)
+        if not requests:
+            return []
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = max(1, min(int(workers), len(requests)))
+        if workers == 1:
+            plan = self.plan(backend=mode)
+            return [plan.run(request) for request in requests]
+        results: List[Optional[np.ndarray]] = [None] * len(requests)
+        chunk = -(-len(requests) // workers)  # ceil division
+
+        def run_chunk(start: int) -> None:
+            plan = self.plan(backend=mode)
+            for i in range(start, min(start + chunk, len(requests))):
+                results[i] = plan.run(requests[i])
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(run_chunk, start)
+                for start in range(0, len(requests), chunk)
+            ]
+            for future in futures:
+                future.result()  # propagate the first worker error
+        return results
+
     def run(
         self,
         inputs: Optional[InputMap] = None,
@@ -117,12 +186,8 @@ class CompiledPipeline:
         if counters is not None:
             # instrumentation lives only in the interpreter
             mode = "interpret"
-        buffers = {}
-        env = {}
-        for key, array in (inputs or {}).items():
-            name = key.name if isinstance(key, ImageParam) else str(key)
-            dtype = key.dtype if isinstance(key, ImageParam) else None
-            buffers[name] = Buffer.from_numpy(name, array, dtype=dtype)
+        # one wrapping + env rule shared with the plan path (plan.py)
+        buffers, _ = bind_inputs(inputs or {})
         out = Buffer(
             self.output_name,
             self.output_dtype,
@@ -130,13 +195,7 @@ class CompiledPipeline:
             is_external=True,
         )
         buffers[self.output_name] = out
-        # publish stride env entries for *every* external buffer — the
-        # output included, so kernels that address it through its
-        # strides do not hit an unbound ``{name}.stride.{d}``
-        for name, buf in buffers.items():
-            for d, stride in enumerate(buf.strides):
-                if d > 0:
-                    env[f"{name}.stride.{d}"] = stride
+        env = stride_env(buffers)
         if mode == "compile":
             kernel = self.kernel_cache.get(self.lowered, key=self.cache_key)
             kernel(buffers, env)
@@ -158,9 +217,16 @@ class CompiledPipeline:
 
 
 def compile_pipeline(
-    output: Func, backend: str = "interpret", **lower_kwargs
+    output: Func,
+    backend: str = "interpret",
+    kernel_cache: Optional[KernelCache] = None,
+    **lower_kwargs,
 ) -> CompiledPipeline:
-    return CompiledPipeline(lower(output, **lower_kwargs), backend=backend)
+    return CompiledPipeline(
+        lower(output, **lower_kwargs),
+        backend=backend,
+        kernel_cache=kernel_cache,
+    )
 
 
 def realize(
@@ -168,13 +234,16 @@ def realize(
     inputs: Optional[InputMap] = None,
     counters: Optional[Counters] = None,
     backend: str = "interpret",
+    kernel_cache: Optional[KernelCache] = None,
     **lower_kwargs,
 ) -> np.ndarray:
     """One-shot: lower, run, and return the output as a numpy array.
 
     The output array follows numpy convention (outermost dimension first);
-    the Func's first argument is the last numpy axis.
+    the Func's first argument is the last numpy axis.  ``kernel_cache``
+    lets one-shot callers route codegen through a private or
+    disk-tiered cache instead of the process-wide default.
     """
-    return compile_pipeline(output, backend=backend, **lower_kwargs).run(
-        inputs, counters
-    )
+    return compile_pipeline(
+        output, backend=backend, kernel_cache=kernel_cache, **lower_kwargs
+    ).run(inputs, counters)

@@ -31,6 +31,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Optional
 
@@ -95,7 +96,15 @@ def atomic_write_bytes(path: str, blob: bytes) -> None:
 
 
 class KernelCache:
-    """A two-tier (LRU + optional disk) kernel cache with accounting."""
+    """A two-tier (LRU + optional disk) kernel cache with accounting.
+
+    Thread-safe: the in-memory LRU and its counters are guarded by a
+    lock, so any number of serving workers (``run_many`` plans, a
+    :class:`repro.service.Server`'s thread pool) may share one cache —
+    including the process-wide default.  Codegen itself runs outside
+    the lock; two threads racing on the same miss simply compile
+    equivalent kernels and the last ``put`` wins.
+    """
 
     def __init__(
         self, maxsize: int = 256, disk_dir: Optional[str] = None
@@ -108,38 +117,44 @@ class KernelCache:
         #: skipping codegen); disk hits are not counted as misses
         self.disk_hits = 0
         self._kernels: "OrderedDict[str, CompiledKernel]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._kernels)
+        with self._lock:
+            return len(self._kernels)
 
     def clear(self) -> None:
         """Drop the in-memory tier and reset counters (disk survives)."""
-        self._kernels.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
+        with self._lock:
+            self._kernels.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
 
     def stats(self) -> Dict[str, int]:
         """Counter snapshot: hits / misses / disk_hits / entries."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "disk_hits": self.disk_hits,
-            "entries": len(self._kernels),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "entries": len(self._kernels),
+            }
 
     def lookup(self, key: str) -> Optional["CompiledKernel"]:
-        kernel = self._kernels.get(key)
-        if kernel is not None:
-            self._kernels.move_to_end(key)
-        return kernel
+        with self._lock:
+            kernel = self._kernels.get(key)
+            if kernel is not None:
+                self._kernels.move_to_end(key)
+            return kernel
 
     def put(self, key: str, kernel: "CompiledKernel") -> None:
         """Install a kernel (e.g. one restored from a compile artifact)."""
-        self._kernels[key] = kernel
-        self._kernels.move_to_end(key)
-        while len(self._kernels) > self.maxsize:
-            self._kernels.popitem(last=False)
+        with self._lock:
+            self._kernels[key] = kernel
+            self._kernels.move_to_end(key)
+            while len(self._kernels) > self.maxsize:
+                self._kernels.popitem(last=False)
 
     def get(
         self, lowered: "Lowered", key: Optional[str] = None
@@ -155,14 +170,20 @@ class KernelCache:
             key = fingerprint_stmt(lowered.stmt)
         kernel = self.lookup(key)
         if kernel is not None:
-            self.hits += 1
+            with self._lock:
+                self.hits += 1
             return kernel
+        # compile / disk-load outside the lock: codegen is slow and
+        # pure, so racing threads at worst duplicate work, never block
+        # every other pipeline in the process behind one compile
         kernel = self._disk_load(key)
         if kernel is not None:
-            self.disk_hits += 1
+            with self._lock:
+                self.disk_hits += 1
             self.put(key, kernel)
             return kernel
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         kernel = compile_stmt(lowered.stmt, key=key)
         self.put(key, kernel)
         self._disk_store(kernel)

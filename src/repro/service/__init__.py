@@ -14,6 +14,10 @@ top of the compiler:
   kernel, skipping saturation *and* codegen entirely.
 * :mod:`.batch` — :class:`BatchCompiler`: precompile a catalog of apps
   into one shared store over worker processes.
+* :mod:`.serve` — :class:`Server`: the execution-side counterpart —
+  persistent worker threads, each holding a warm
+  :class:`~repro.runtime.plan.ExecutionPlan`, serving batches of
+  same-shaped requests.
 
 Quick tour::
 
@@ -41,6 +45,7 @@ from .fingerprint import (
     rule_fingerprint,
     ruleset_fingerprint,
 )
+from .serve import Server
 from .store import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactStore,
@@ -57,6 +62,7 @@ __all__ = [
     "CompileArtifact",
     "CompileJob",
     "JobResult",
+    "Server",
     "StoreStats",
     "WarmCompileResult",
     "compile_lowered",

@@ -1,0 +1,161 @@
+"""The batched serving front-end: persistent workers over one pipeline.
+
+``CompiledPipeline.run_many`` builds its worker plans per batch; a
+:class:`Server` keeps them alive across batches, which is what a real
+serving process wants — the kernel stays bound, the stride env stays
+built, the arenas stay warm (pooled tile buffers, cached shuffle
+matrices), and every request after the first pays only kernel time.
+
+::
+
+    from repro.service import Server
+
+    with Server(app.compile(), workers=4) as server:
+        outputs = server.run_many(requests)        # ordered, parallel
+        one = server.run(request)                  # single, synchronous
+        future = server.submit(request)            # overlap with caller
+
+Each worker thread owns one :class:`~repro.runtime.plan.ExecutionPlan`
+(created lazily on the thread's first request), so no plan is ever
+shared between threads; the pipeline's :class:`KernelCache` is
+thread-safe and shared.  Outputs are bit-identical to sequential
+``pipeline.run`` on either backend — asserted by the serving benchmark
+and test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.executor import CompiledPipeline, InputMap, _check_backend
+from ..runtime.plan import ExecutionPlan
+
+
+class Server:
+    """Serve one compiled pipeline from a pool of plan-holding workers.
+
+    Parameters
+    ----------
+    pipeline:
+        A :class:`CompiledPipeline`, or anything with a ``.compile()``
+        returning one (an :class:`repro.apps.common.App`).
+    workers:
+        Worker-thread count; defaults to the machine's CPU count.
+    backend:
+        Execution backend for every request; defaults to the
+        pipeline's.  Counters are not supported on the serving path —
+        use ``pipeline.run(counters=...)`` for instrumented runs.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        if not isinstance(pipeline, CompiledPipeline):
+            pipeline = pipeline.compile()
+        self.pipeline = pipeline
+        self.backend = (
+            _check_backend(backend) if backend is not None else pipeline.backend
+        )
+        import os
+
+        self.workers = (
+            int(workers) if workers is not None else (os.cpu_count() or 1)
+        )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._plans: List[ExecutionPlan] = []
+        self._closed = False
+        self.requests_served = 0
+        self.batches_served = 0
+
+    # -- worker-side ---------------------------------------------------------
+
+    def _plan(self) -> ExecutionPlan:
+        plan = getattr(self._local, "plan", None)
+        if plan is None:
+            plan = self.pipeline.plan(backend=self.backend)
+            self._local.plan = plan
+            with self._lock:
+                self._plans.append(plan)
+        return plan
+
+    def _run_one(
+        self, request: Optional[InputMap], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        result = self._plan().run(request, out=out)
+        with self._lock:
+            self.requests_served += 1
+        return result
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(
+        self,
+        request: Optional[InputMap],
+        out: Optional[np.ndarray] = None,
+    ) -> "Future[np.ndarray]":
+        """Enqueue one request; the future resolves to its output array.
+
+        Input arrays are bound **zero-copy** — the worker reads the
+        caller's memory while the request is in flight.  Do not mutate
+        a request's arrays (or a passed ``out``) until the future has
+        resolved; ``run``/``run_many`` block, so this only concerns
+        ``submit`` callers overlapping their own work.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        return self._pool.submit(self._run_one, request, out)
+
+    def run(self, request: Optional[InputMap] = None) -> np.ndarray:
+        """Run one request synchronously on the worker pool."""
+        return self.submit(request).result()
+
+    def run_many(
+        self, requests: Sequence[Optional[InputMap]]
+    ) -> List[np.ndarray]:
+        """Fan a batch over the pool; outputs come back in request order."""
+        futures = [self.submit(request) for request in requests]
+        results = [future.result() for future in futures]
+        with self._lock:
+            self.batches_served += 1
+        return results
+
+    def stats(self) -> Dict[str, object]:
+        """Serving counters plus per-worker plan/arena statistics."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "requests": self.requests_served,
+                "batches": self.batches_served,
+                "plans": [plan.stats() for plan in self._plans],
+            }
+
+    def close(self) -> None:
+        """Drain outstanding requests and stop the workers (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Server({self.pipeline.output_name!r}, workers={self.workers},"
+            f" backend={self.backend!r}, requests={self.requests_served})"
+        )

@@ -193,3 +193,75 @@ class Buffer:
             f"Buffer({self.name!r}, {self.dtype}, extents={self.extents}, "
             f"{self.memory_type.value})"
         )
+
+
+class StackedBuffer:
+    """A batch of ``B`` logical buffers sharing one ``[B, size]`` array.
+
+    The batch-axis kernels (:func:`repro.runtime.codegen
+    .compile_batched_stmt`) index these as ``data[:, flat_index]`` —
+    row ``b`` of ``data`` holds exactly what a per-request
+    :class:`Buffer` of the same geometry would hold for request ``b``.
+    ``extents``/``strides`` describe the *per-request* geometry (the
+    batch axis is never addressed by the IR), so ``stride_env`` treats
+    a stacked buffer like a plain one.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        extents: Tuple[int, ...],
+        memory_type: MemoryType = MemoryType.HEAP,
+        is_external: bool = False,
+        batch: int = 1,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        if dtype.lanes != 1:
+            raise ValueError("buffers hold scalar element types")
+        self.name = name
+        self.dtype = dtype
+        self.extents = tuple(int(e) for e in extents)
+        self.memory_type = memory_type
+        self.is_external = is_external
+        self.size = int(np.prod(self.extents)) if self.extents else 1
+        self.batch = int(batch)
+        if data is None:
+            self.data = np.zeros((self.batch, self.size), dtype.to_numpy())
+        else:
+            if data.shape != (self.batch, self.size):
+                raise ValueError(
+                    f"stacked data shape {data.shape} !="
+                    f" ({self.batch}, {self.size})"
+                )
+            self.data = data
+        self._strides: Optional[Tuple[int, ...]] = None
+
+    @classmethod
+    def like(cls, buf: Buffer, batch: int) -> "StackedBuffer":
+        """The ``[batch, ...]`` stacking of ``buf``'s geometry."""
+        return cls(
+            buf.name,
+            buf.dtype,
+            buf.extents,
+            memory_type=buf.memory_type,
+            is_external=buf.is_external,
+            batch=batch,
+        )
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        if self._strides is None:
+            strides = []
+            acc = 1
+            for extent in self.extents:
+                strides.append(acc)
+                acc *= extent
+            self._strides = tuple(strides)
+        return self._strides
+
+    def __repr__(self) -> str:
+        return (
+            f"StackedBuffer({self.name!r}, {self.dtype}, B={self.batch}, "
+            f"extents={self.extents}, {self.memory_type.value})"
+        )

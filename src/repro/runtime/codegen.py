@@ -57,7 +57,7 @@ from ..targets.bfloat16 import round_to_bfloat16
 from ..targets.dp4a import dp4a_mac
 from ..targets.wmma import check_shape as wmma_check_shape
 from ..targets.wmma import mma_sync
-from .buffer import Buffer
+from .buffer import Buffer, StackedBuffer
 from .interpreter import (
     as_vector,
     broadcast_value,
@@ -289,6 +289,204 @@ def _v_tile_expand(arena, tile, valid, cols):
 
 def _v_tile_compact(arena, tile, cols, valid):
     return tile_compact(tile, cols, valid).ravel()
+
+
+# -- batch-axis helpers and intrinsic variants ---------------------------------
+#
+# A batched kernel (see compile_batched_stmt) executes a whole shape
+# bucket of B requests in one call.  Buffers marked *stacked* hold
+# ``[B, size]`` data and every access gains a leading batch axis; the
+# rest of the statement — weights, shuffle-operand construction, tile
+# index grids, loop bounds — is emitted exactly as the scalar emitter
+# would, so those values are shared across the batch *by construction*.
+# Each helper below is the batched twin of a scalar helper above and is
+# bit-identical per batch row (same cores, same dtypes, same rounding);
+# the differential parity suite in tests/test_batched.py asserts this
+# for every app.
+#
+# Values at run time are either *shared* (scalar, or ``[lanes]``) or
+# *batched* (``[B]`` for a batched scalar, ``[B, lanes]`` for a batched
+# vector).  A ``[B]`` batched scalar and a ``[lanes]`` vector are both
+# 1-D and cannot be told apart at run time, so the emitter decides
+# statically (``_expr_batched``) which twin to call.
+
+
+def _vec_b(x):
+    """Batched ``as_vector``: a ``[B]`` batched scalar as a ``[B, 1]``
+    column."""
+    return np.asarray(x)[:, None]
+
+
+def _bcast_b(value, count, np_dtype):
+    """Batched ``broadcast_value``: per-row scalar fill / vector tile."""
+    value = np.asarray(value)
+    if value.ndim == 1:
+        col = value.astype(np_dtype, copy=False)[:, None]
+        return np.broadcast_to(col, (value.shape[0], count))
+    return np.tile(value, (1, count))
+
+
+def _vred_b(value, result_lanes):
+    """Batched ``reduce_groups``: row-wise grouped sums.
+
+    The input must be made C-contiguous first: a stacked gather
+    (``data[:, idx]``) comes back in transposed layout, and numpy's
+    strided reduce loop sums in a different order than the contiguous
+    pairwise loop the scalar kernel's ``reduce_groups`` uses — a
+    last-ULP divergence the batch-parity suite catches.
+    """
+    groups = np.ascontiguousarray(value)
+    groups = groups.reshape(groups.shape[0], result_lanes, -1)
+    return groups.sum(axis=2, dtype=groups.dtype)
+
+
+def _cat_b(parts):
+    """Batched concatenate: shared parts broadcast up to the batch."""
+    arrays = [np.asarray(p) for p in parts]
+    batch = max(a.shape[0] for a in arrays if a.ndim == 2)
+    arrays = [
+        a if a.ndim == 2 else np.broadcast_to(a, (batch,) + a.shape)
+        for a in arrays
+    ]
+    return np.concatenate(arrays, axis=1)
+
+
+def _take_b(arena, name, dtype, extents, memory_type, batch):
+    """Batched Allocate entry: a zeroed ``[batch, size]`` scope buffer."""
+    if arena is None:
+        return StackedBuffer(
+            name, dtype, extents, memory_type=memory_type, batch=batch
+        )
+    return arena.take_batched(name, dtype, extents, memory_type, batch)
+
+
+def _tiles(value, rows, cols, np_dtype=None):
+    """A flat tile value — batched ``[B, rows*cols]`` or shared
+    ``[rows*cols]`` — reshaped to ``[..., rows, cols]``.
+
+    Forced C-contiguous so the accelerator cores (``np.matmul`` inside
+    the simulators) see the same layout the scalar kernel feeds them —
+    float summation order must not depend on the gather's stride trick
+    (see :func:`_vred_b`).
+    """
+    v = np.asarray(value) if np_dtype is None else np.asarray(value, np_dtype)
+    v = np.ascontiguousarray(v)
+    if v.ndim > 1:
+        return v.reshape(v.shape[0], rows, cols)
+    return v.reshape(rows, cols)
+
+
+def _bv_tile_load(arena, buf, base, stride, rows, cols):
+    idx = _tile_idx(arena, base, stride, rows, cols)
+    return buf.data[:, idx].astype(np.float32, copy=False)
+
+
+def _bv_tile_matmul(arena, c, a, b, m, n, k):
+    out = tdpbf16ps(
+        _tiles(c, m, n, np.float32),
+        _tiles(a, m, k, np.float32),
+        _tiles(b, k // 2, 2 * n, np.float32),
+    )
+    return out.reshape(out.shape[0], -1)
+
+
+def _bv_tile_store(arena, buf, base, stride, rows, cols, tile):
+    idx = _tile_idx(arena, base, stride, rows, cols)
+    values = np.asarray(tile, dtype=buf.data.dtype)
+    if buf.dtype.code is TypeCode.BFLOAT:
+        values = round_to_bfloat16(values)
+    buf.data[:, idx] = values
+    return np.float32(0.0)
+
+
+def _bv_dp4a_load(arena, buf, base, stride, rows, cols):
+    idx = _tile_idx(arena, base, stride, rows, cols)
+    return buf.data[:, idx].astype(np.int32, copy=False)
+
+
+def _bv_dp4a_matmul(arena, c, a, b, m, n, k):
+    out = dp4a_mac(
+        _tiles(c, m, n, np.int32),
+        _tiles(a, m, k),
+        _tiles(b, k // 4, 4 * n),
+    )
+    return out.reshape(out.shape[0], -1)
+
+
+def _bv_dp4a_store(arena, buf, base, stride, rows, cols, tile):
+    idx = _tile_idx(arena, base, stride, rows, cols)
+    buf.data[:, idx] = np.asarray(tile, dtype=buf.data.dtype)
+    return np.int32(0)
+
+
+def _bv_wmma_fill(arena, m, n, value):
+    col = np.asarray(value, dtype=np.float32).reshape(-1, 1)
+    return np.full((col.shape[0], m * n), col, dtype=np.float32)
+
+
+def _bv_wmma_load(arena, buf, base, stride, rows, cols):
+    return _bv_tile_load(arena, buf, base, stride, rows, cols)
+
+
+def _bv_wmma_mma(arena, c, a, b, m, n, k):
+    wmma_check_shape(m, n, k)
+    out = mma_sync(
+        _tiles(c, m, n, np.float32),
+        _tiles(a, m, k, np.float32),
+        _tiles(b, k, n, np.float32),
+    )
+    return out.reshape(out.shape[0], -1)
+
+
+def _bv_wmma_store(arena, buf, base, stride, m, n, tile):
+    return _bv_tile_store(arena, buf, base, stride, m, n, tile)
+
+
+def _bv_tile_expand(arena, tile, valid, cols):
+    t = np.asarray(tile, np.float32)
+    batch, rows = t.shape[0], t.shape[1] // valid
+    out = np.zeros((batch, rows, cols), dtype=np.float32)
+    out[:, :, :valid] = t.reshape(batch, rows, valid)
+    return out.reshape(batch, rows * cols)
+
+
+def _bv_tile_compact(arena, tile, cols, valid):
+    t = np.asarray(tile, np.float32)
+    batch, rows = t.shape[0], t.shape[1] // cols
+    return np.ascontiguousarray(
+        t.reshape(batch, rows, cols)[:, :, :valid]
+    ).reshape(batch, rows * valid)
+
+
+#: batched twins, selected at emit time when the relevant operand or
+#: buffer is batched (see _BatchedEmitter._emit_Call)
+_BATCHED_LOADS: Dict[str, Callable] = {
+    "tile_load": _bv_tile_load,
+    "dp4a_load": _bv_dp4a_load,
+    "wmma.load.a.sync": _bv_wmma_load,
+    "wmma.load.b.sync": _bv_wmma_load,
+}
+_BATCHED_STORES: Dict[str, Callable] = {
+    "tile_store": _bv_tile_store,
+    "dp4a_store": _bv_dp4a_store,
+    "wmma.store.d.sync": _bv_wmma_store,
+}
+_BATCHED_MATMULS: Dict[str, Callable] = {
+    "tile_matmul": _bv_tile_matmul,
+    "dp4a_matmul": _bv_dp4a_matmul,
+    "wmma.mma.sync": _bv_wmma_mma,
+}
+_BATCHED_ELEMENTWISE: Dict[str, Callable] = {
+    "TileExpand": _bv_tile_expand,
+    "TileCompact": _bv_tile_compact,
+}
+#: weight-derived shuffle operands: shared across the batch by
+#: construction, so a batched source forces the looped fallback
+_SHUFFLE_CONSTRUCTORS = {
+    "KWayInterleave",
+    "ConvolutionShuffle",
+    "MultiphaseShuffle",
+}
 
 
 #: intrinsics with a value-level compiled implementation
@@ -754,6 +952,10 @@ class _Emitter:
             with self.block():
                 self.emit_stmt(stmt.else_case)
 
+    def _take_call(self, name, dtype, extents, memtype) -> str:
+        """The Allocate-entry expression (hook for the batched emitter)."""
+        return f"_take(_arena, {name!r}, {dtype}, ({extents},), {memtype})"
+
     def _exec_Allocate(self, stmt: S.Allocate) -> None:
         name = stmt.name
         was_allocated = name in self.allocated
@@ -767,10 +969,7 @@ class _Emitter:
         dtype = self.const(stmt.dtype.element_of())
         memtype = self.const(stmt.memory_type)
         self.line(f"{saved} = buffers.get({name!r})")
-        self.line(
-            f"{obj} = _take(_arena, {name!r}, {dtype}, ({extents},), "
-            f"{memtype})"
-        )
+        self.line(f"{obj} = {self._take_call(name, dtype, extents, memtype)}")
         self.line(f"buffers[{name!r}] = {obj}")
         self.line(f"{data} = {obj}.data")
         self.emit_stmt(stmt.body)
@@ -828,6 +1027,11 @@ _HELPER_GLOBALS = {
     "_store_wrap": _store_wrap,
     "_take": _take,
     "_give": _give,
+    "_vec_b": _vec_b,
+    "_bcast_b": _bcast_b,
+    "_vred_b": _vred_b,
+    "_cat_b": _cat_b,
+    "_take_b": _take_b,
 }
 
 
@@ -896,6 +1100,424 @@ def compile_stmt(stmt: S.Stmt, key: str = "") -> CompiledKernel:
         )
 
 
+# -- batch-axis compilation ----------------------------------------------------
+
+
+def _expr_batched(e: E.Expr, stacked, var_batched: Dict[str, bool]) -> bool:
+    """Does ``e`` evaluate to a per-request (batched) value?
+
+    An expression is batched iff it transitively reads a stacked buffer
+    or a let-bound variable that does.  Loop variables and env-sourced
+    scalars are shared; intrinsic *stores* return a shared scalar zero
+    whatever their operands.
+    """
+    if isinstance(e, E.Variable):
+        return var_batched.get(e.name, False)
+    if isinstance(e, E.Load):
+        if e.name in stacked:
+            return True
+        return _expr_batched(e.index, stacked, var_batched)
+    if isinstance(e, E.Let):
+        value_b = _expr_batched(e.value, stacked, var_batched)
+        saved = var_batched.get(e.name)
+        var_batched[e.name] = value_b
+        try:
+            return _expr_batched(e.body, stacked, var_batched)
+        finally:
+            if saved is None:
+                var_batched.pop(e.name, None)
+            else:
+                var_batched[e.name] = saved
+    if isinstance(e, E.Call):
+        if e.name in _BATCHED_STORES:
+            return False
+        if any(
+            isinstance(a, E.StringImm) and a.value in stacked for a in e.args
+        ):
+            return True
+        return any(
+            _expr_batched(a, stacked, var_batched)
+            for a in e.args
+            if not isinstance(a, E.StringImm)
+        )
+    for attr in EXPR_CHILDREN.get(type(e), ()):
+        child = getattr(e, attr)
+        if isinstance(child, tuple):
+            if any(
+                isinstance(c, E.Expr)
+                and _expr_batched(c, stacked, var_batched)
+                for c in child
+            ):
+                return True
+        elif isinstance(child, E.Expr) and _expr_batched(
+            child, stacked, var_batched
+        ):
+            return True
+    return False
+
+
+def _batched_allocations(stmt: S.Stmt, stacked_external) -> frozenset:
+    """Widen Allocate scopes with the batch axis where needed.
+
+    Fixpoint over the statement: an allocated buffer becomes *stacked*
+    as soon as any value stored into it (plain Store or a store
+    intrinsic's tile operand) is batched.  Everything else — weight
+    staging, shuffle-operand scratch — stays shared across the batch.
+    Returns the full stacked set (externals plus promoted allocations).
+    """
+    stacked = set(stacked_external)
+    allocated: Set[str] = set()
+    changed = True
+
+    def mark(name: str, value: E.Expr, vb: Dict[str, bool]) -> None:
+        nonlocal changed
+        if (
+            name in allocated
+            and name not in stacked
+            and _expr_batched(value, stacked, vb)
+        ):
+            stacked.add(name)
+            changed = True
+
+    def scan_store_calls(e: E.Expr, vb: Dict[str, bool]) -> None:
+        for call in _expr_calls(e):
+            if call.name in _BATCHED_STORES and isinstance(
+                call.args[0], E.StringImm
+            ):
+                mark(call.args[0].value, call.args[-1], vb)
+
+    def walk(s: S.Stmt, vb: Dict[str, bool]) -> None:
+        if isinstance(s, S.Block):
+            for part in s.stmts:
+                walk(part, vb)
+        elif isinstance(s, S.ProducerConsumer):
+            walk(s.body, vb)
+        elif isinstance(s, S.Allocate):
+            allocated.add(s.name)
+            walk(s.body, vb)
+        elif isinstance(s, S.For):
+            saved = vb.get(s.name)
+            vb[s.name] = False
+            walk(s.body, vb)
+            if saved is None:
+                vb.pop(s.name, None)
+            else:
+                vb[s.name] = saved
+        elif isinstance(s, S.LetStmt):
+            scan_store_calls(s.value, vb)
+            value_b = _expr_batched(s.value, stacked, vb)
+            saved = vb.get(s.name)
+            vb[s.name] = value_b
+            walk(s.body, vb)
+            if saved is None:
+                vb.pop(s.name, None)
+            else:
+                vb[s.name] = saved
+        elif isinstance(s, S.IfThenElse):
+            walk(s.then_case, vb)
+            if s.else_case is not None:
+                walk(s.else_case, vb)
+        elif isinstance(s, S.Store):
+            mark(s.name, s.value, vb)
+            scan_store_calls(s.value, vb)
+            scan_store_calls(s.index, vb)
+        elif isinstance(s, S.Evaluate):
+            scan_store_calls(s.value, vb)
+
+    while changed:
+        changed = False
+        walk(stmt, {})
+    return frozenset(stacked)
+
+
+class _BatchedEmitter(_Emitter):
+    """Emits a batch-axis kernel for a fixed set of stacked buffers.
+
+    Stacked buffers hold ``[B, size]`` data and all their accesses gain
+    a leading batch axis (``data[:, index]``); the kernels are
+    *B-agnostic* — one compiled kernel serves every batch size of the
+    bucket.  Shared state (weights, shuffle operands, tile grids, loop
+    nests) is emitted exactly as the scalar emitter would.  Constructs
+    whose control flow or addressing would depend on per-request data
+    raise :class:`CodegenError`; there is no interpreter fallback —
+    the caller falls back to the looped per-request path instead.
+    """
+
+    def __init__(self, stacked) -> None:
+        super().__init__()
+        self.stacked = frozenset(stacked)
+        self.var_batched: Dict[str, bool] = {}
+        # the batch size, bound in the preamble like any env variable;
+        # only _take_b needs it (value helpers read array shapes)
+        self.env_locals["batch.size"] = "_B"
+
+    def batched(self, e: E.Expr) -> bool:
+        return _expr_batched(e, self.stacked, self.var_batched)
+
+    # -- expressions --------------------------------------------------------
+
+    def emit_vector(self, e: E.Expr) -> str:
+        if e.type.lanes > 1:
+            return self.emit(e)
+        if self.batched(e):
+            return f"_vec_b({self.emit(e)})"
+        return f"_vec({self.emit(e)}, 1)"
+
+    def _emit_Ramp(self, e: E.Ramp) -> str:
+        if self.batched(e.base) or self.batched(e.stride):
+            raise CodegenError("batched ramp addressing")
+        return super()._emit_Ramp(e)
+
+    def _emit_Broadcast(self, e: E.Broadcast) -> str:
+        if not self.batched(e.value):
+            return super()._emit_Broadcast(e)
+        np_dtype = self.const(e.type.element_of().to_numpy())
+        return f"_bcast_b({self.emit(e.value)}, {e.count}, {np_dtype})"
+
+    def _emit_VectorReduce(self, e: E.VectorReduce) -> str:
+        if not self.batched(e.value):
+            return super()._emit_VectorReduce(e)
+        return f"_vred_b({self.emit_vector(e.value)}, {e.result_lanes})"
+
+    def _emit_Shuffle(self, e: E.Shuffle) -> str:
+        if not self.batched(e):
+            return super()._emit_Shuffle(e)
+        indices = self.const(np.asarray(e.indices, dtype=np.int64))
+        parts = [self.emit_vector(v) for v in e.vectors]
+        if len(parts) == 1:
+            return f"{parts[0]}[..., {indices}]"
+        return f"_cat_b(({', '.join(parts)},))[..., {indices}]"
+
+    def _emit_Let(self, e: E.Let) -> str:
+        value_b = self.batched(e.value)
+        value = self.emit(e.value)
+        local = self.fresh("v")
+        self.line(f"{local} = {value}")
+        saved = self.scope.get(e.name)
+        saved_b = self.var_batched.get(e.name)
+        self.scope[e.name] = local
+        self.var_batched[e.name] = value_b
+        try:
+            return self.emit(e.body)
+        finally:
+            if saved is None:
+                del self.scope[e.name]
+            else:
+                self.scope[e.name] = saved
+            if saved_b is None:
+                self.var_batched.pop(e.name, None)
+            else:
+                self.var_batched[e.name] = saved_b
+
+    def _emit_Load(self, e: E.Load) -> str:
+        if self.batched(e.index):
+            raise CodegenError("batched (data-dependent) load index")
+        if e.name not in self.stacked:
+            return super()._emit_Load(e)
+        data = self.buf_data(e.name)
+        idx = e.index
+        if idx.type.lanes == 1:
+            code = f"{data}[:, {self.emit(idx)}]"
+        else:
+            sliced = self._try_slice(idx)
+            if sliced is not None:
+                code = f"{data}[:, {sliced}]"
+            else:
+                return f"{data}[:, _idx({self.emit(idx)})]"
+        # both spellings above are views into the stacked array; copy
+        # them when the statement may mutate buffers mid-expression
+        if self.copy_views:
+            code = f"np.array({code})"
+        return code
+
+    def _emit_Call(self, e: E.Call) -> str:
+        name = e.name
+        if name in MATH_INTRINSICS:
+            return super()._emit_Call(e)
+        if name not in VALUE_INTRINSICS:
+            # no interpreter fallback inside batched kernels
+            raise CodegenError(f"intrinsic {name!r} has no batched emission")
+        arg_b = [
+            (not isinstance(a, E.StringImm)) and self.batched(a)
+            for a in e.args
+        ]
+        buf = e.args[0] if e.args else None
+        buf_stacked = (
+            isinstance(buf, E.StringImm) and buf.value in self.stacked
+        )
+        fn = VALUE_INTRINSICS[name]
+        if name in _BATCHED_LOADS:
+            if any(arg_b[1:]):
+                raise CodegenError("batched tile addressing")
+            if buf_stacked:
+                fn = _BATCHED_LOADS[name]
+        elif name in _BATCHED_STORES:
+            if any(arg_b[1:-1]):
+                raise CodegenError("batched tile addressing")
+            if buf_stacked:
+                fn = _BATCHED_STORES[name]
+            elif arg_b[-1]:
+                raise CodegenError(f"{name} of batched tile into shared buffer")
+        elif name in _BATCHED_MATMULS:
+            if any(arg_b[3:]):
+                raise CodegenError("batched matmul geometry")
+            if any(arg_b[:3]):
+                fn = _BATCHED_MATMULS[name]
+        elif name == "wmma.fill.sync":
+            if arg_b[0] or arg_b[1]:
+                raise CodegenError("batched fill geometry")
+            if arg_b[2]:
+                fn = _bv_wmma_fill
+        elif name in _BATCHED_ELEMENTWISE:
+            if any(arg_b[1:]):
+                raise CodegenError("batched tile geometry")
+            if arg_b[0]:
+                fn = _BATCHED_ELEMENTWISE[name]
+        elif name in _SHUFFLE_CONSTRUCTORS:
+            # shared-by-construction: per-request weights cannot feed a
+            # shuffle-operand constructor in a batched kernel
+            if buf_stacked or any(arg_b):
+                raise CodegenError(
+                    f"{name} over per-request data cannot be batched"
+                )
+        elif name in ("tile_zero", "dp4a_zero"):
+            if any(arg_b):
+                raise CodegenError("batched tile geometry")
+        elif name in ("DP4A2Mem", "WMMA2Mem"):
+            pass  # identity either way
+        elif any(arg_b) or buf_stacked:
+            raise CodegenError(f"{name} cannot be batched")
+        args = ["_arena"]
+        for a in e.args:
+            if isinstance(a, E.StringImm):
+                args.append(self.buf_obj(a.value))
+            else:
+                args.append(self.emit(a))
+        return f"{self.const(fn)}({', '.join(args)})"
+
+    # -- statements ---------------------------------------------------------
+
+    def _exec_Store(self, stmt: S.Store) -> None:
+        if self.batched(stmt.index):
+            raise CodegenError("batched store index")
+        if stmt.name not in self.stacked:
+            if self.batched(stmt.value):
+                raise CodegenError(
+                    f"batched store into shared buffer {stmt.name!r}"
+                )
+            return super()._exec_Store(stmt)
+        self.copy_views = _has_impure_call(stmt.value) or _has_impure_call(
+            stmt.index
+        )
+        data = self.buf_data(stmt.name)
+        value = self.emit(stmt.value)
+        if isinstance(stmt.value, E.Load) and stmt.value.name == stmt.name:
+            # bare self-copy: avoid overlapping-view assignment hazards
+            value = f"np.array({value})"
+        if stmt.name in self.allocated:
+            dtype = self._alloc_dtypes.get(stmt.name)
+            if dtype is not None and dtype.code is TypeCode.BFLOAT:
+                value = f"_bf16({value})"
+        else:
+            value = f"{self.store_wrap(stmt.name)}({value})"
+        idx = stmt.index
+        if idx.type.lanes == 1:
+            self.line(f"{data}[:, {self.emit(idx)}] = {value}")
+        else:
+            sliced = self._try_slice(idx)
+            if sliced is not None:
+                self.line(f"{data}[:, {sliced}] = {value}")
+            else:
+                self.line(f"{data}[:, _idx({self.emit(idx)})] = {value}")
+        self.copy_views = False
+
+    def _exec_For(self, stmt: S.For) -> None:
+        if self.batched(stmt.min_expr) or self.batched(stmt.extent):
+            raise CodegenError("batched loop bounds")
+        saved = self.var_batched.get(stmt.name)
+        self.var_batched[stmt.name] = False
+        try:
+            super()._exec_For(stmt)
+        finally:
+            if saved is None:
+                self.var_batched.pop(stmt.name, None)
+            else:
+                self.var_batched[stmt.name] = saved
+
+    def _exec_LetStmt(self, stmt: S.LetStmt) -> None:
+        value_b = self.batched(stmt.value)
+        local = self.fresh("v")
+        self.line(f"{local} = {self.emit(stmt.value)}")
+        saved = self.scope.get(stmt.name)
+        saved_b = self.var_batched.get(stmt.name)
+        self.scope[stmt.name] = local
+        self.var_batched[stmt.name] = value_b
+        try:
+            self.emit_stmt(stmt.body)
+        finally:
+            if saved is None:
+                del self.scope[stmt.name]
+            else:
+                self.scope[stmt.name] = saved
+            if saved_b is None:
+                self.var_batched.pop(stmt.name, None)
+            else:
+                self.var_batched[stmt.name] = saved_b
+
+    def _exec_IfThenElse(self, stmt: S.IfThenElse) -> None:
+        if self.batched(stmt.condition):
+            raise CodegenError("batched branch condition")
+        super()._exec_IfThenElse(stmt)
+
+    def _exec_Allocate(self, stmt: S.Allocate) -> None:
+        if any(self.batched(e) for e in stmt.extents):
+            raise CodegenError("batched allocation extents")
+        super()._exec_Allocate(stmt)
+
+    def _take_call(self, name, dtype, extents, memtype) -> str:
+        if name not in self.stacked:
+            return super()._take_call(name, dtype, extents, memtype)
+        return (
+            f"_take_b(_arena, {name!r}, {dtype}, ({extents},), "
+            f"{memtype}, _B)"
+        )
+
+
+def compile_batched_stmt(
+    stmt: S.Stmt, stacked, key: str = ""
+) -> CompiledKernel:
+    """Compile a batch-axis variant of a lowered statement.
+
+    ``stacked`` names the external buffers that carry a leading batch
+    dimension — the per-request inputs and the output; internal
+    Allocates are widened automatically when any value stored into them
+    is per-request (:func:`_batched_allocations`).  The kernel runs on
+    ``StackedBuffer``s for the stacked names, plain ``Buffer``s for the
+    shared ones, and ``env['batch.size']``; it is B-agnostic.
+
+    Unlike :func:`compile_stmt` there is **no** interpreter fallback:
+    a construct the batched emitter cannot express (per-request control
+    flow or addressing, per-request weights feeding a shuffle
+    constructor, unknown intrinsics) raises :class:`CodegenError`, and
+    the caller falls back to the looped per-request path.
+    """
+    all_stacked = _batched_allocations(stmt, frozenset(stacked))
+    emitter = _BatchedEmitter(all_stacked)
+    emitter.emit_stmt(stmt)
+    src = emitter.source()
+    code = compile(src, f"<batched-kernel {key[:12] or 'anon'}>", "exec")
+    namespace = dict(_HELPER_GLOBALS)
+    namespace.update(emitter.globals)
+    exec(code, namespace)
+    return CompiledKernel(
+        namespace["_kernel"],
+        src,
+        key,
+        needs_interp=False,
+        globals_map=emitter.globals,
+    )
+
+
 # -- kernel (de)serialization --------------------------------------------------
 #
 # A compiled kernel is plain Python source plus a dict of injected
@@ -911,7 +1533,9 @@ def compile_stmt(stmt: S.Stmt, key: str = "") -> CompiledKernel:
 #: bump when the emitted-source contract changes; stale payloads on
 #: disk are rejected and recompiled rather than mis-executed.
 #: v2: kernels take an arena argument (buffer pooling + operand memos)
-KERNEL_FORMAT_VERSION = 2
+#: v3: batch-axis kernels (stacked [B, size] buffers, _bv_*/_take_b
+#:     helpers, env['batch.size'])
+KERNEL_FORMAT_VERSION = 3
 
 
 def serialize_kernel(kernel: CompiledKernel) -> Optional[dict]:

@@ -19,7 +19,8 @@ A :class:`CompiledPipeline` can execute through either backend:
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Union
+import threading
+from typing import Dict, FrozenSet, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,8 +30,20 @@ from ..lowering.pipeline import Lowered, lower
 from .buffer import Buffer
 from .counters import Counters
 from .interpreter import Interpreter
-from .kernel_cache import DEFAULT_CACHE, KernelCache, fingerprint_stmt
-from .plan import BufferArena, ExecutionPlan, bind_inputs, stride_env
+from .kernel_cache import (
+    DEFAULT_CACHE,
+    KernelCache,
+    batched_key,
+    fingerprint_stmt,
+)
+from .plan import (
+    BatchedExecutionPlan,
+    BatchingUnsupported,
+    BufferArena,
+    ExecutionPlan,
+    bind_inputs,
+    stride_env,
+)
 
 # importing the target simulators registers their intrinsic handlers
 from ..targets import amx as _amx  # noqa: F401
@@ -72,6 +85,14 @@ class CompiledPipeline:
         self.output_dtype = lowered.output.dtype.element_of()
         #: kernel-cache key, computed once — the lowered stmt is immutable
         self._cache_key: Optional[str] = None
+        #: batch-axis kernels per shared/stacked split; None records
+        #: "no batched kernel exists" so failed splits are not retried
+        self._batched: Dict[FrozenSet[str], Optional[object]] = {}
+        self._batched_plan: Optional[BatchedExecutionPlan] = None
+        self._batch_lock = threading.Lock()
+        #: optional ArtifactStore persisting batched kernels across
+        #: processes; wired by repro.service.compile.compile_lowered
+        self.artifact_store = None
 
     @property
     def cache_key(self) -> str:
@@ -126,22 +147,79 @@ class CompiledPipeline:
         )
         return ExecutionPlan(self, mode, arena=arena)
 
+    def batched_kernel(self, stacked: FrozenSet[str]):
+        """The batch-axis kernel for one shared/stacked input split.
+
+        Resolved through the kernel cache under a batch-aware key
+        (:func:`~.kernel_cache.batched_key`) and, when an artifact
+        store is wired, persisted/restored across processes.  Returns
+        ``None`` — and remembers the answer — when the statement cannot
+        be batch-compiled for this split (per-request weights feeding a
+        shuffle constructor, data-dependent addressing, ...).
+        """
+        from .codegen import CodegenError, compile_batched_stmt
+
+        stacked = frozenset(stacked)
+        if stacked in self._batched:
+            return self._batched[stacked]
+        key = batched_key(self.cache_key, stacked)
+
+        def build():
+            if self.artifact_store is not None:
+                restored = self.artifact_store.get_kernel(key)
+                if restored is not None:
+                    return restored
+            kernel = compile_batched_stmt(
+                self.lowered.stmt, stacked, key=key
+            )
+            if self.artifact_store is not None:
+                self.artifact_store.put_kernel(key, kernel)
+            return kernel
+
+        try:
+            kernel = self.kernel_cache.get_or_build(key, build)
+        except CodegenError:
+            kernel = None
+        self._batched[stacked] = kernel
+        return kernel
+
+    def _run_batched(self, requests: List[InputMap]) -> List[np.ndarray]:
+        """One batch-axis kernel call for the whole bucket (locked —
+        the batched plan is stateful and shared across callers)."""
+        with self._batch_lock:
+            if self._batched_plan is None:
+                self._batched_plan = BatchedExecutionPlan(self)
+            return self._batched_plan.run(requests)
+
     def run_many(
         self,
         requests: Sequence[Optional[InputMap]],
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        batch_axis: Optional[bool] = None,
     ) -> List[np.ndarray]:
         """Run a batch of same-shaped requests, optionally in parallel.
 
-        Requests are fanned over ``workers`` threads (NumPy releases
-        the GIL inside kernels), each with its own
-        :class:`~.plan.ExecutionPlan` and arena; results are returned
-        in request order and are bit-identical to a sequential
-        ``run()`` loop on either backend.  ``workers=None`` picks
-        ``min(len(requests), cpu_count)``; ``workers=1`` runs the batch
-        on one plan in the calling thread.  Counters are not supported
-        here — use :meth:`run` for instrumented executions.
+        On the compiled backend the whole bucket is first routed
+        through one batch-axis kernel call
+        (:class:`~.plan.BatchedExecutionPlan`): inputs whose array is
+        the same object in every request (the serving idiom for
+        weights) stay shared, the rest are stacked ``[B, ...]``.
+        Buckets the batched path cannot take — ragged shapes,
+        per-request weights feeding shuffle constructors, the
+        interpreter backend — transparently fall back to the looped
+        path below.  ``batch_axis=False`` forces the looped path;
+        ``batch_axis=True`` skips the fallback and raises
+        :class:`~.plan.BatchingUnsupported` instead.
+
+        The looped path fans requests over ``workers`` threads (NumPy
+        releases the GIL inside kernels), each with its own
+        :class:`~.plan.ExecutionPlan` and arena.  Results are returned
+        in request order and are bit-identical across all three paths.
+        ``workers=None`` picks ``min(len(requests), cpu_count)``;
+        ``workers=1`` runs the batch on one plan in the calling thread.
+        Counters are not supported here — use :meth:`run` for
+        instrumented executions.
         """
         mode = (
             _check_backend(backend) if backend is not None else self.backend
@@ -149,6 +227,19 @@ class CompiledPipeline:
         requests = list(requests)
         if not requests:
             return []
+        explicit = batch_axis is True
+        if batch_axis is None:
+            batch_axis = mode == "compile"
+        if batch_axis:
+            if mode != "compile":
+                raise BatchingUnsupported(
+                    "batch-axis execution requires the compiled backend"
+                )
+            try:
+                return self._run_batched(requests)
+            except BatchingUnsupported:
+                if explicit:
+                    raise
         if workers is None:
             workers = os.cpu_count() or 1
         workers = max(1, min(int(workers), len(requests)))

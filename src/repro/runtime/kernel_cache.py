@@ -47,6 +47,20 @@ def fingerprint_stmt(stmt: Stmt) -> str:
     return hashlib.sha256(repr(stmt).encode("utf-8")).hexdigest()
 
 
+def batched_key(key: str, stacked) -> str:
+    """The batch-aware cache key for a batch-axis kernel variant.
+
+    A statement has one scalar kernel but potentially several batched
+    variants — one per shared/stacked input split (e.g. shared weights
+    vs. a B=1 bucket where everything is shared) — so the stacked-name
+    set is folded into the key alongside the statement fingerprint.
+    """
+    digest = hashlib.sha256(
+        "\x00".join(sorted(stacked)).encode("utf-8")
+    ).hexdigest()
+    return f"{key}-b{digest[:16]}"
+
+
 #: everything a pickled payload written by another (possibly newer or
 #: older) process can throw while being loaded or re-hydrated: torn
 #: bytes, renamed classes/modules, format drift.  Shared by this
@@ -185,6 +199,33 @@ class KernelCache:
         with self._lock:
             self.misses += 1
         kernel = compile_stmt(lowered.stmt, key=key)
+        self.put(key, kernel)
+        self._disk_store(kernel)
+        return kernel
+
+    def get_or_build(self, key: str, build) -> "CompiledKernel":
+        """Memoize an arbitrary kernel builder under ``key``.
+
+        Same two-tier discipline as :meth:`get` (memory, then disk,
+        then ``build()``), for kernels that are not the plain
+        ``compile_stmt`` of a statement — the batch-axis variants keyed
+        by :func:`batched_key`.  ``build`` exceptions propagate and
+        nothing is cached for them.
+        """
+        kernel = self.lookup(key)
+        if kernel is not None:
+            with self._lock:
+                self.hits += 1
+            return kernel
+        kernel = self._disk_load(key)
+        if kernel is not None:
+            with self._lock:
+                self.disk_hits += 1
+            self.put(key, kernel)
+            return kernel
+        with self._lock:
+            self.misses += 1
+        kernel = build()
         self.put(key, kernel)
         self._disk_store(kernel)
         return kernel

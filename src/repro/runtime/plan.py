@@ -51,7 +51,7 @@ import numpy as np
 from ..ir.stmt import MemoryType
 from ..ir.types import DataType, TypeCode
 from ..targets.bfloat16 import round_to_bfloat16
-from .buffer import Buffer
+from .buffer import Buffer, StackedBuffer
 from .interpreter import Interpreter, tile_index
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -148,10 +148,38 @@ class BufferArena:
             name, dtype, key[2], memory_type=memory_type, is_external=False
         )
 
-    def give(self, buf: Buffer) -> None:
-        """Return a buffer to the pool at the end of its Allocate scope."""
+    def give(self, buf) -> None:
+        """Return a buffer to the pool at the end of its Allocate scope.
+
+        Stacked (batch-axis) buffers pool under a batch-qualified key so
+        a ``[B, size]`` block is only ever recycled for the same B.
+        """
         key = (buf.name, buf.dtype, buf.extents, buf.memory_type)
+        if isinstance(buf, StackedBuffer):
+            key = key + (buf.batch,)
         self._free.setdefault(key, []).append(buf)
+
+    def take_batched(
+        self,
+        name: str,
+        dtype: DataType,
+        extents: tuple,
+        memory_type: MemoryType,
+        batch: int,
+    ) -> StackedBuffer:
+        """The batch-axis twin of :meth:`take`: a zeroed ``[batch, size]``
+        stacked scope buffer, recycled per (shape, batch)."""
+        key = self._key(name, dtype, extents, memory_type) + (int(batch),)
+        pool = self._free.get(key)
+        if pool:
+            buf = pool.pop()
+            buf.data.fill(0)
+            self.buffer_reuses += 1
+            return buf
+        self.buffer_allocs += 1
+        return StackedBuffer(
+            name, dtype, key[2], memory_type=memory_type, batch=int(batch)
+        )
 
     # -- derived-operand caches ---------------------------------------------
 
@@ -346,5 +374,279 @@ class ExecutionPlan:
     def stats(self) -> Dict[str, int]:
         """Run/rebind counters plus the arena's pooling counters."""
         stats = {"runs": self.runs, "rebinds": self.rebinds}
+        stats.update(self.arena.stats())
+        return stats
+
+
+class BatchingUnsupported(RuntimeError):
+    """A request batch cannot take the batch-axis path.
+
+    Raised by :class:`BatchedExecutionPlan` when the bucket is ragged
+    (shapes/dtypes differ across requests), a request is not a plain
+    ndarray mapping, or the statement has no batch-axis kernel for the
+    bucket's stacked set (e.g. per-request weights feeding a shuffle
+    constructor).  Callers — ``CompiledPipeline.run_many`` and
+    ``repro.service.Server`` — catch it and fall back to the looped
+    per-request path, so it is a routing signal, not an error.
+    """
+
+
+class BatchedExecutionPlan:
+    """A pipeline pre-bound to run a whole shape bucket per kernel call.
+
+    Where :class:`ExecutionPlan` runs one request at a time, this plan
+    stages a batch of same-shaped requests into contiguous ``[B, size]``
+    stacked buffers, invokes one batch-axis kernel
+    (:func:`repro.runtime.codegen.compile_batched_stmt`), and scatters
+    the stacked output back into per-request views.  Inputs whose array
+    is the *same object* across every request of a batch — the serving
+    idiom for weights — are bound as plain shared buffers, so their
+    derived shuffle operands are computed once per batch by
+    construction.
+
+    The compiled kernels are B-agnostic: one kernel serves every batch
+    size of a bucket, and only a change in shapes, dtypes, or the
+    shared/stacked split rebinds (which also drops all previously grown
+    staging storage — stale staging from an old shape is never reused).
+
+    Not thread-safe — callers serialize access (``Server`` holds a
+    lock; ``run_many`` uses one plan under a lock).
+    """
+
+    def __init__(
+        self,
+        pipeline: "CompiledPipeline",
+        arena: Optional[BufferArena] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.output_name = pipeline.output_name
+        self.output_dtype = pipeline.output_dtype
+        self.output_extents = pipeline.output_extents
+        self.arena = arena if arena is not None else BufferArena()
+        self._out_np = self.output_dtype.to_numpy()
+        self._out_shape = tuple(reversed(self.output_extents))
+        self._out_size = (
+            int(np.prod(self.output_extents)) if self.output_extents else 1
+        )
+        self.kernel: Optional["CompiledKernel"] = None
+        self._buffers: Dict[str, object] = {}
+        self._env: dict = {}
+        #: (key, buffer, shape, source dtype, needs bf16 rounding)
+        self._shared: Tuple[tuple, ...] = ()
+        #: (key, stacked buffer, shape, source dtype, needs bf16
+        #: rounding, staging numpy dtype)
+        self._stacked: Tuple[tuple, ...] = ()
+        #: name -> [capacity, size] staging block (grown, never shrunk)
+        self._staging: Dict[str, np.ndarray] = {}
+        self._out_sb: Optional[StackedBuffer] = None
+        self.runs = 0
+        self.rebinds = 0
+        self.batched_requests = 0
+
+    # -- binding -------------------------------------------------------------
+
+    def _bind(self, requests: List[dict]) -> None:
+        """Full bind against the first request's geometry.
+
+        Classifies each input as *shared* (same array object in every
+        request) or *stacked*, resolves the batch-axis kernel for that
+        split, and rebuilds all staging storage from scratch — a rebind
+        on shape change therefore also invalidates any batched staging
+        left over from the previous geometry.
+        """
+        first = requests[0]
+        buffers, entries = bind_inputs(first)
+        out = Buffer(
+            self.output_name,
+            self.output_dtype,
+            self.output_extents,
+            is_external=True,
+        )
+        buffers[self.output_name] = out
+        env = stride_env(buffers)
+        many = len(requests) > 1
+        shared = []
+        stacked = []
+        stacked_names = {self.output_name}
+        kernel_buffers: Dict[str, object] = {}
+        for key, buf, array in entries:
+            needs_round = buf.dtype.code is TypeCode.BFLOAT
+            is_shared = not many or all(
+                r.get(key) is array for r in requests[1:]
+            )
+            if is_shared:
+                shared.append(
+                    (key, buf, array.shape, array.dtype, needs_round)
+                )
+                kernel_buffers[buf.name] = buf
+            else:
+                sbuf = StackedBuffer.like(buf, len(requests))
+                stacked.append(
+                    (
+                        key,
+                        sbuf,
+                        array.shape,
+                        array.dtype,
+                        needs_round,
+                        buf.dtype.to_numpy(),
+                    )
+                )
+                stacked_names.add(buf.name)
+                kernel_buffers[buf.name] = sbuf
+        out_sb = StackedBuffer.like(out, len(requests))
+        kernel_buffers[self.output_name] = out_sb
+        kernel = self.pipeline.batched_kernel(frozenset(stacked_names))
+        if kernel is None:
+            raise BatchingUnsupported(
+                "no batch-axis kernel for stacked buffers "
+                + ", ".join(sorted(stacked_names))
+            )
+        self.kernel = kernel
+        self._buffers = kernel_buffers
+        self._env = env
+        self._shared = tuple(shared)
+        self._stacked = tuple(stacked)
+        self._staging = {}
+        self._out_sb = out_sb
+        self.rebinds += 1
+
+    def _stage(self, sbuf: StackedBuffer, batch: int, np_dtype) -> np.ndarray:
+        block = self._staging.get(sbuf.name)
+        if block is None or block.shape[0] < batch:
+            block = np.empty((batch, sbuf.size), dtype=np_dtype)
+            self._staging[sbuf.name] = block
+        return block[:batch]
+
+    def _ingest(self, requests: List[dict]) -> bool:
+        """Stage a batch into the bound buffers; False on any mismatch.
+
+        Validates every request before copying anything, so a mismatch
+        never leaves a half-staged batch behind.
+        """
+        if self._out_sb is None:
+            return False
+        batch = len(requests)
+        n_keys = len(self._shared) + len(self._stacked)
+        for r in requests:
+            if len(r) != n_keys:
+                return False
+        for key, buf, shape, src_dtype, _ in self._shared:
+            array = requests[0].get(key)
+            if (
+                not isinstance(array, np.ndarray)
+                or array.shape != shape
+                or array.dtype != src_dtype
+            ):
+                return False
+            for r in requests[1:]:
+                if r.get(key) is not array:
+                    return False
+        for key, sbuf, shape, src_dtype, _, _ in self._stacked:
+            for r in requests:
+                array = r.get(key)
+                if (
+                    not isinstance(array, np.ndarray)
+                    or array.shape != shape
+                    or array.dtype != src_dtype
+                ):
+                    return False
+        # shared inputs: swap the data view, exactly like ExecutionPlan
+        for key, buf, shape, src_dtype, needs_round in self._shared:
+            array = requests[0][key]
+            if needs_round:
+                buf.data = round_to_bfloat16(
+                    np.asarray(array, dtype=np.float32).ravel()
+                )
+            elif array.dtype == buf.data.dtype and array.flags.c_contiguous:
+                buf.data = array.reshape(-1)  # zero-copy view
+            else:
+                buf.data = np.asarray(array, dtype=buf.data.dtype).ravel()
+        # stacked inputs: one contiguous [B, size] staging block; row b
+        # holds exactly what request b's per-request Buffer would hold
+        for key, sbuf, shape, src_dtype, needs_round, np_dtype in (
+            self._stacked
+        ):
+            block = self._stage(sbuf, batch, np_dtype)
+            for b, r in enumerate(requests):
+                block[b] = r[key].reshape(-1)
+            if needs_round:
+                block[:] = round_to_bfloat16(block)
+            sbuf.data = block
+            sbuf.batch = batch
+        return True
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        requests: List[dict],
+        out: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        """Run a whole bucket in one kernel call.
+
+        Returns per-request output arrays (views of one stacked block).
+        ``out``, when given, must be a writeable C-contiguous
+        ``[B, *output_shape]`` array of the output dtype; the kernel
+        writes it directly and the returned views alias it.
+
+        Raises :class:`BatchingUnsupported` when the batch cannot be
+        staged (ragged shapes, non-array requests) or no batch-axis
+        kernel exists for its shared/stacked split.
+        """
+        requests = list(requests)
+        batch = len(requests)
+        if batch == 0:
+            return []
+        for r in requests:
+            if not isinstance(r, dict):
+                raise BatchingUnsupported("requests must be input dicts")
+        if not self._ingest(requests):
+            self._bind(requests)
+            if not self._ingest(requests):
+                raise BatchingUnsupported(
+                    "ragged batch: request shapes/dtypes differ"
+                )
+        out_shape = (batch,) + self._out_shape
+        if out is not None:
+            if not isinstance(out, np.ndarray):
+                raise ValueError("out= must be a numpy array")
+            if out.dtype != self._out_np or out.shape != out_shape:
+                raise ValueError(
+                    f"out= expects shape {out_shape} dtype {self._out_np},"
+                    f" got shape {out.shape} dtype {out.dtype}"
+                )
+            if not out.flags.c_contiguous or not out.flags.writeable:
+                raise ValueError("out= must be C-contiguous and writeable")
+            for r in requests:
+                for array in r.values():
+                    if isinstance(
+                        array, np.ndarray
+                    ) and np.may_share_memory(out, array):
+                        raise ValueError(
+                            "out= must not share memory with an input array"
+                        )
+            flat = out.reshape(batch, -1)
+            flat.fill(0)  # match fresh-allocation semantics exactly
+            results = [out[b] for b in range(batch)]
+        else:
+            flat = np.zeros((batch, self._out_size), dtype=self._out_np)
+            results = [
+                flat[b].reshape(self._out_shape) for b in range(batch)
+            ]
+        self._out_sb.data = flat
+        self._out_sb.batch = batch
+        self._env["batch.size"] = batch
+        self.kernel(self._buffers, self._env, arena=self.arena)
+        self.runs += 1
+        self.batched_requests += batch
+        return results
+
+    def stats(self) -> Dict[str, int]:
+        """Run/rebind/request counters plus the arena's counters."""
+        stats = {
+            "runs": self.runs,
+            "rebinds": self.rebinds,
+            "batched_requests": self.batched_requests,
+        }
         stats.update(self.arena.stats())
         return stats

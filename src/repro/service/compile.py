@@ -177,6 +177,10 @@ def compile_lowered(
     pipeline = CompiledPipeline(
         result.lowered, backend=backend, kernel_cache=kernel_cache
     )
+    # batch-axis kernel variants compiled by this pipeline persist into
+    # (and restore from) the same store, so a warm process skips their
+    # codegen too — see CompiledPipeline.batched_kernel
+    pipeline.artifact_store = store
     if result.kernel is not None:
         pipeline.seed_kernel(result.kernel)
     return pipeline, result.report

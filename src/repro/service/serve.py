@@ -32,7 +32,11 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..runtime.executor import CompiledPipeline, InputMap, _check_backend
-from ..runtime.plan import ExecutionPlan
+from ..runtime.plan import (
+    BatchedExecutionPlan,
+    BatchingUnsupported,
+    ExecutionPlan,
+)
 
 
 class Server:
@@ -49,6 +53,14 @@ class Server:
         Execution backend for every request; defaults to the
         pipeline's.  Counters are not supported on the serving path —
         use ``pipeline.run(counters=...)`` for instrumented runs.
+    batch_axis:
+        Batch routing policy for :meth:`run_many`.  ``None`` (default)
+        tries the one-kernel-call batched path on the compiled backend
+        and silently falls back to the worker pool when a bucket is
+        unbatchable (ragged shapes, per-request weights feeding
+        shuffles); ``False`` always fans out over the pool;
+        ``True`` requires the batched path and raises
+        :class:`~repro.runtime.plan.BatchingUnsupported` otherwise.
     """
 
     def __init__(
@@ -56,6 +68,7 @@ class Server:
         pipeline,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        batch_axis: Optional[bool] = None,
     ) -> None:
         if not isinstance(pipeline, CompiledPipeline):
             pipeline = pipeline.compile()
@@ -77,8 +90,12 @@ class Server:
         self._lock = threading.Lock()
         self._plans: List[ExecutionPlan] = []
         self._closed = False
+        self.batch_axis = batch_axis
+        self._batch_lock = threading.Lock()
+        self._batched_plan: Optional[BatchedExecutionPlan] = None
         self.requests_served = 0
         self.batches_served = 0
+        self.batched_batches = 0
 
     # -- worker-side ---------------------------------------------------------
 
@@ -122,10 +139,58 @@ class Server:
         """Run one request synchronously on the worker pool."""
         return self.submit(request).result()
 
-    def run_many(
-        self, requests: Sequence[Optional[InputMap]]
+    def _run_batched(
+        self, requests: List[Optional[InputMap]]
     ) -> List[np.ndarray]:
-        """Fan a batch over the pool; outputs come back in request order."""
+        """One batch-axis kernel call for the whole bucket.
+
+        The batched plan is stateful (staging buffers, bound kernel),
+        so concurrent ``run_many`` callers serialize on it; singleton
+        requests and unbatchable buckets take the pool path instead.
+        """
+        with self._batch_lock:
+            if self._batched_plan is None:
+                self._batched_plan = BatchedExecutionPlan(self.pipeline)
+            results = self._batched_plan.run(requests)
+        with self._lock:
+            self.requests_served += len(requests)
+            self.batches_served += 1
+            self.batched_batches += 1
+        return results
+
+    def run_many(
+        self,
+        requests: Sequence[Optional[InputMap]],
+        batch_axis: Optional[bool] = None,
+    ) -> List[np.ndarray]:
+        """Run a batch; outputs come back in request order.
+
+        Same-shape buckets on the compiled backend go through **one**
+        batch-axis kernel call (weights shared, data inputs stacked
+        ``[B, ...]``); anything the batched path cannot take falls back
+        to fanning out over the worker pool.  ``batch_axis`` overrides
+        the server-wide policy for this call (see the constructor).
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        requests = list(requests)
+        if not requests:
+            return []
+        if batch_axis is None:
+            batch_axis = self.batch_axis
+        explicit = batch_axis is True
+        if batch_axis is None:
+            batch_axis = self.backend == "compile"
+        if batch_axis:
+            if self.backend != "compile":
+                raise BatchingUnsupported(
+                    "batch-axis serving requires the compiled backend"
+                )
+            try:
+                return self._run_batched(requests)
+            except BatchingUnsupported:
+                if explicit:
+                    raise
         futures = [self.submit(request) for request in requests]
         results = [future.result() for future in futures]
         with self._lock:
@@ -135,12 +200,17 @@ class Server:
     def stats(self) -> Dict[str, object]:
         """Serving counters plus per-worker plan/arena statistics."""
         with self._lock:
-            return {
+            stats = {
                 "workers": self.workers,
                 "requests": self.requests_served,
                 "batches": self.batches_served,
+                "batched_batches": self.batched_batches,
                 "plans": [plan.stats() for plan in self._plans],
             }
+        with self._batch_lock:
+            if self._batched_plan is not None:
+                stats["batched_plan"] = self._batched_plan.stats()
+        return stats
 
     def close(self) -> None:
         """Drain outstanding requests and stop the workers (idempotent)."""

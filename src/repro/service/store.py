@@ -20,6 +20,7 @@ as a miss (and unlinked), never served.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import time
@@ -189,6 +190,84 @@ class ArtifactStore:
         except OSError:
             self.stats.write_errors += 1
             return None
+
+    # -- batch-axis kernels ----------------------------------------------------
+
+    def kernel_path_for(self, key: str) -> str:
+        """The on-disk location for a standalone kernel payload.
+
+        Batched-kernel keys (:func:`~repro.runtime.kernel_cache
+        .batched_key`) embed the stacked-input split, so the key itself
+        is digested for the filename — the layout stays uniform no
+        matter how keys evolve.
+        """
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return sharded_path(self.root, digest, ".bkernel")
+
+    def get_kernel(self, key: str):
+        """Re-hydrate the batch-axis kernel stored under ``key``.
+
+        Returns a ready :class:`~repro.runtime.codegen.CompiledKernel`,
+        or None on a miss.  A payload whose embedded key disagrees or
+        whose kernel format predates the current
+        ``KERNEL_FORMAT_VERSION`` is stale: rejected, unlinked, and
+        counted — never served.
+        """
+        from ..runtime.codegen import CodegenError, deserialize_kernel
+
+        path = self.kernel_path_for(key)
+        start = time.perf_counter()
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            self.stats.load_seconds += time.perf_counter() - start
+            return None
+        except PICKLE_LOAD_ERRORS:
+            self._reject(path)
+            self.stats.load_seconds += time.perf_counter() - start
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            self._reject(path)
+            self.stats.load_seconds += time.perf_counter() - start
+            return None
+        try:
+            kernel = deserialize_kernel(payload)
+        except (CodegenError, *PICKLE_LOAD_ERRORS):
+            self._reject(path)
+            self.stats.load_seconds += time.perf_counter() - start
+            return None
+        self.stats.hits += 1
+        self.stats.load_seconds += time.perf_counter() - start
+        return kernel
+
+    def put_kernel(self, key: str, kernel) -> Optional[str]:
+        """Persist a batch-axis kernel atomically; returns the path.
+
+        Same degradation contract as :meth:`try_put` — an unwritable
+        store (read-only replica, full disk) is "not cached", never an
+        error on the compile path.  Returns None when the kernel is not
+        serializable or the write was skipped.
+        """
+        from ..runtime.codegen import serialize_kernel
+
+        payload = serialize_kernel(kernel)
+        if payload is None:
+            return None
+        start = time.perf_counter()
+        path = self.kernel_path_for(key)
+        blob = pickle.dumps(
+            dict(payload, key=key), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        try:
+            atomic_write_bytes(path, blob)
+        except OSError:
+            self.stats.write_errors += 1
+            return None
+        self.stats.writes += 1
+        self.stats.store_seconds += time.perf_counter() - start
+        return path
 
     # -- maintenance -----------------------------------------------------------
 

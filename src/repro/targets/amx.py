@@ -76,14 +76,19 @@ def vnni_pack(b: np.ndarray) -> np.ndarray:
 
 
 def vnni_unpack(vnni: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`vnni_pack`: (K/2, 2N) -> (K, N)."""
-    kp, n2 = vnni.shape
+    """Inverse of :func:`vnni_pack`: (..., K/2, 2N) -> (..., K, N).
+
+    Rank-polymorphic over leading axes, so a ``[B, K/2, 2N]`` stack of
+    per-request operands unpacks in one call — the batch-axis kernels
+    rely on this.
+    """
+    kp, n2 = vnni.shape[-2], vnni.shape[-1]
     if n2 % 2 != 0:
         raise AMXError(f"VNNI unpack needs even row length, got {n2}")
     n = n2 // 2
-    out = np.empty((kp * 2, n), dtype=vnni.dtype)
-    out[0::2, :] = vnni[:, 0::2]
-    out[1::2, :] = vnni[:, 1::2]
+    out = np.empty(vnni.shape[:-2] + (kp * 2, n), dtype=vnni.dtype)
+    out[..., 0::2, :] = vnni[..., :, 0::2]
+    out[..., 1::2, :] = vnni[..., :, 1::2]
     return out
 
 
@@ -94,10 +99,15 @@ def tdpbf16ps(
 
     Hardware multiplies bf16 pairs and accumulates in fp32; rounding the
     inputs to bf16 here reproduces that precision.
+
+    Rank-polymorphic: any operand may carry leading batch axes
+    (``[B, m, k]`` etc.); mixed batched/shared operands broadcast the
+    way ``np.matmul`` does, and each batch slice is bit-identical to
+    the 2-D call on that slice.
     """
     a32 = round_to_bfloat16(np.asarray(a, dtype=np.float32))
     b = vnni_unpack(round_to_bfloat16(np.asarray(b_vnni, dtype=np.float32)))
-    if a32.shape[1] != b.shape[0]:
+    if a32.shape[-1] != b.shape[-2]:
         raise AMXError(
             f"TDPBF16PS shape mismatch: A {a32.shape} vs B {b.shape}"
         )

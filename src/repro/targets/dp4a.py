@@ -82,14 +82,18 @@ def vnni4_pack(b: np.ndarray) -> np.ndarray:
 
 
 def vnni4_unpack(vnni: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`vnni4_pack`: (K/4, 4N) -> (K, N)."""
-    kp, n4 = vnni.shape
+    """Inverse of :func:`vnni4_pack`: (..., K/4, 4N) -> (..., K, N).
+
+    Rank-polymorphic over leading axes so batched ``[B, K/4, 4N]``
+    operands unpack in one call (batch-axis kernels).
+    """
+    kp, n4 = vnni.shape[-2], vnni.shape[-1]
     if n4 % K_GROUP != 0:
         raise DP4AError(f"VNNI-4 unpack needs 4N row length, got {n4}")
     n = n4 // K_GROUP
-    out = np.empty((kp * K_GROUP, n), dtype=vnni.dtype)
+    out = np.empty(vnni.shape[:-2] + (kp * K_GROUP, n), dtype=vnni.dtype)
     for t in range(K_GROUP):
-        out[t::K_GROUP, :] = vnni[:, t::K_GROUP]
+        out[..., t::K_GROUP, :] = vnni[..., :, t::K_GROUP]
     return out
 
 
@@ -99,10 +103,15 @@ def dp4a_mac(c: np.ndarray, a: np.ndarray, b_vnni4: np.ndarray) -> np.ndarray:
     Hardware multiplies int8 pairs and accumulates in int32 with
     wraparound; truncating the inputs to int8 here reproduces that
     behaviour for out-of-range values.
+
+    Rank-polymorphic like :func:`repro.targets.amx.tdpbf16ps`: operands
+    may carry a leading batch axis; the int8 truncation and int32
+    wraparound apply elementwise per batch slice, bit-identical to the
+    2-D call.
     """
     a8 = np.asarray(a).astype(np.int8).astype(np.int32)
     b = vnni4_unpack(np.asarray(b_vnni4).astype(np.int8)).astype(np.int32)
-    if a8.shape[1] != b.shape[0]:
+    if a8.shape[-1] != b.shape[-2]:
         raise DP4AError(
             f"dp4a_matmul shape mismatch: A {a8.shape} vs B {b.shape}"
         )

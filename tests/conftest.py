@@ -1,0 +1,104 @@
+"""Shared fixtures and app-suite definitions for the test suite.
+
+The app parameter lists here are the single source of truth for "every
+app" tests (backend parity, batch parity, serving): the fig-6 suite
+apps at test-sized shapes, and the two quantized int8 apps.  Test
+modules import the constants directly (``from conftest import ...``)
+for parametrization and use the fixtures for per-test state.
+"""
+
+import numpy as np
+import pytest
+
+from repro import frontend as hl
+from repro.apps import (
+    attention,
+    conv1d,
+    conv2d,
+    conv_layer,
+    downsample,
+    matmul,
+    upsample,
+)
+
+#: (module, build kwargs) for every single-stage fig-6 app at test size;
+#: build with ``module.build(variant, **params)``, variant in VARIANTS
+SIMPLE_APPS = [
+    (conv1d, {"taps": 16, "rows": 1}),
+    (conv2d, {"taps": 16, "width": 512, "rows": 4}),
+    (downsample, {"taps": 16, "width": 256, "rows": 4}),
+    (upsample, {"width": 256, "rows": 2}),
+    (matmul, {"n": 64}),
+    (conv_layer, {"rows": 2}),
+    (attention, {"length": 128}),
+]
+
+SIMPLE_APP_IDS = [m.__name__.split(".")[-1] for m, _ in SIMPLE_APPS]
+
+#: both schedule variants every simple app supports
+VARIANTS = ["cuda", "tensor"]
+
+#: (builder, kwargs) for the quantized dp4a apps at test size
+INT8_APPS = [
+    (matmul.build_int8, {"tiles": 2}),
+    (conv_layer.build_int8, {"width": 16, "rows": 1}),
+]
+
+INT8_APP_IDS = ["matmul_int8", "conv_layer_int8"]
+
+
+def build_requests(app, count, rng, vary=1):
+    """``count`` run_many requests for ``app``: fresh random data for
+    the first ``vary`` input params, the app's own arrays — the *same
+    objects* across requests, the serving idiom for weights — for the
+    rest.  Keyed by param name."""
+    params = list(app.inputs.items())
+    requests = []
+    for _ in range(count):
+        request = {}
+        for position, (param, array) in enumerate(params):
+            if position < vary:
+                if array.dtype.kind == "f":
+                    fresh = rng.standard_normal(array.shape)
+                    request[param.name] = fresh.astype(array.dtype)
+                else:
+                    request[param.name] = rng.integers(
+                        -128, 128, array.shape
+                    ).astype(array.dtype)
+            else:
+                request[param.name] = array
+        requests.append(request)
+    return requests
+
+
+def build_vector_pipeline(width=64, split=8, vector=8):
+    """A minimal pure-vector pipeline: ``out[x] = in[x] * 2 + 1``.
+
+    Returns ``(input_param, func)``; shared by the serving and batched
+    tests that need a cheap non-accelerator statement."""
+    inp = hl.ImageParam(hl.Float(32), 1, name="sv_in")
+    x, xi = hl.Var("x"), hl.Var("xi")
+    f = hl.Func("sv_out")
+    f[x] = inp[x] * 2.0 + 1.0
+    f.bound(x, 0, width)
+    f.split(x, x, xi, split).vectorize(xi, vector)
+    return inp, f
+
+
+def make_vector_input(width=64, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(width).astype(np.float32)
+
+
+@pytest.fixture
+def rng():
+    """A per-test seeded generator — deterministic, isolated."""
+    return np.random.default_rng(0xC60)
+
+
+@pytest.fixture
+def artifact_store(tmp_path):
+    """A fresh on-disk ArtifactStore rooted in this test's tmp dir."""
+    from repro.service import ArtifactStore
+
+    return ArtifactStore(str(tmp_path / "artifacts"))

@@ -9,30 +9,16 @@ kernels were emitted (no silent interpreter fallback).
 
 import numpy as np
 import pytest
+from conftest import INT8_APP_IDS, INT8_APPS, SIMPLE_APP_IDS, SIMPLE_APPS
 
 from repro.apps import (
-    attention,
     conv1d,
-    conv2d,
-    conv_layer,
     dct_denoise,
-    downsample,
     matmul,
     recursive_filter,
     resample,
-    upsample,
 )
 from repro.runtime.kernel_cache import KernelCache
-
-SIMPLE_APPS = [
-    (conv1d, {"taps": 16, "rows": 1}),
-    (conv2d, {"taps": 16, "width": 512, "rows": 4}),
-    (downsample, {"taps": 16, "width": 256, "rows": 4}),
-    (upsample, {"width": 256, "rows": 2}),
-    (matmul, {"n": 64}),
-    (conv_layer, {"rows": 2}),
-    (attention, {"length": 128}),
-]
 
 
 def assert_backends_agree(app):
@@ -41,11 +27,7 @@ def assert_backends_agree(app):
     np.testing.assert_allclose(interpreted, compiled, rtol=0, atol=0)
 
 
-@pytest.mark.parametrize(
-    "module,params",
-    SIMPLE_APPS,
-    ids=[m.__name__.split(".")[-1] for m, _ in SIMPLE_APPS],
-)
+@pytest.mark.parametrize("module,params", SIMPLE_APPS, ids=SIMPLE_APP_IDS)
 @pytest.mark.parametrize("variant", ["cuda", "tensor"])
 class TestBackendParity:
     def test_backends_agree(self, module, params, variant):
@@ -70,15 +52,9 @@ class TestQuantizedBackendParity:
     """The dp4a apps accumulate in exact int32: interpret, compile, and
     the numpy reference must agree bit for bit, not just allclose."""
 
-    def test_matmul_int8(self):
-        app = matmul.build_int8(tiles=2)
-        assert_backends_agree(app)
-        np.testing.assert_array_equal(
-            app.run(backend="compile"), app.reference()
-        )
-
-    def test_conv_layer_int8(self):
-        app = conv_layer.build_int8(width=16, rows=1)
+    @pytest.mark.parametrize("builder,params", INT8_APPS, ids=INT8_APP_IDS)
+    def test_int8_apps_bit_exact(self, builder, params):
+        app = builder(**params)
         assert_backends_agree(app)
         np.testing.assert_array_equal(
             app.run(backend="compile"), app.reference()

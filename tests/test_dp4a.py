@@ -9,6 +9,7 @@ roofline threading of the new ``int8_macs`` counter.
 
 import numpy as np
 import pytest
+from conftest import INT8_APP_IDS, INT8_APPS
 
 from repro import frontend as hl
 from repro.apps import conv_layer, matmul
@@ -173,12 +174,6 @@ class TestMatmulInt8Selection:
         assert counters.tensor_macs == 0
         assert counters.intrinsic_calls["dp4a_matmul"] == 4  # 2x2 tiles
 
-    def test_bit_exact_against_reference_both_backends(self):
-        app = matmul.build_int8(tiles=2)
-        ref = app.reference()
-        np.testing.assert_array_equal(app.run(), ref)
-        np.testing.assert_array_equal(app.run(backend="compile"), ref)
-
     def test_vnni4_layout_maps_without_swizzle(self):
         # pre-packed B loads directly; the %4 / /4 degenerate-pattern
         # recovery axioms rebuild the three-level nested ramp
@@ -212,17 +207,23 @@ class TestConvLayerInt8Selection:
         # through the (legal, WMMA-style) outbound marker
         assert "DP4A2Mem" in text
 
-    def test_bit_exact_against_reference_both_backends(self):
-        app = conv_layer.build_int8(width=16, rows=1)
-        ref = app.reference()
-        np.testing.assert_array_equal(app.run(), ref)
-        np.testing.assert_array_equal(app.run(backend="compile"), ref)
-
     def test_macs_on_int8_unit_with_scalar_epilogue(self):
         app = conv_layer.build_int8(width=16, rows=1)
         out, counters = app.run_and_measure()
         assert counters.int8_macs > 0
         assert counters.tensor_macs == 0
+
+
+class TestInt8BitExactness:
+    """Both quantized apps, both backends, against the numpy reference
+    — the app list is shared with the parity/batched suites."""
+
+    @pytest.mark.parametrize("builder,params", INT8_APPS, ids=INT8_APP_IDS)
+    def test_bit_exact_against_reference_both_backends(self, builder, params):
+        app = builder(**params)
+        ref = app.reference()
+        np.testing.assert_array_equal(app.run(), ref)
+        np.testing.assert_array_equal(app.run(backend="compile"), ref)
 
 
 class TestRooflineThreading:

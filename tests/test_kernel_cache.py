@@ -177,3 +177,62 @@ class TestRealize:
         _, f2 = build_pipeline()
         b = realize(f2, inputs, backend="compile")
         np.testing.assert_allclose(a, b, rtol=0, atol=0)
+
+
+class TestGetOrBuild:
+    """The arbitrary-builder memoization the batch-axis variants ride."""
+
+    def test_builds_once_then_hits(self, tmp_path):
+        from repro.runtime.kernel_cache import batched_key
+
+        cache = KernelCache(disk_dir=str(tmp_path))
+        inp, f = build_pipeline()
+        pipe = CompiledPipeline(lower(f), backend="compile",
+                                kernel_cache=cache)
+        pipe.run(make_inputs(inp))  # the scalar kernel, for a builder
+        import copy
+
+        key = batched_key(pipe.cache_key, frozenset([inp.name]))
+        variant = copy.copy(cache.lookup(pipe.cache_key))
+        variant.key = key  # as compile_batched_stmt stamps its kernels
+        calls = []
+
+        def build():
+            calls.append(1)
+            return variant
+
+        assert cache.get_or_build(key, build) is variant
+        assert cache.get_or_build(key, build) is variant
+        assert len(calls) == 1
+
+        # the disk tier re-hydrates a fresh process without rebuilding
+        fresh = KernelCache(disk_dir=str(tmp_path))
+
+        def never():
+            raise AssertionError("disk tier should have served this")
+
+        assert fresh.get_or_build(key, never).key == key
+        assert fresh.disk_hits == 1
+
+    def test_build_errors_are_not_cached(self):
+        cache = KernelCache()
+
+        def boom():
+            raise RuntimeError("codegen failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("k", boom)
+        # the failure was not memoized: a working builder still runs
+        sentinel = object()
+        assert cache.get_or_build("k", lambda: sentinel) is sentinel
+
+    def test_batched_key_varies_with_split(self):
+        from repro.runtime.kernel_cache import batched_key
+
+        base = "stmt-fingerprint"
+        a = batched_key(base, frozenset(["I"]))
+        b = batched_key(base, frozenset(["I", "K"]))
+        assert a != b != base
+        # order-independent: frozenset iteration order must not leak
+        assert a == batched_key(base, frozenset(["I"]))
+        assert b == batched_key(base, frozenset(["K", "I"]))

@@ -26,6 +26,7 @@ from repro.ir import (
     Variable,
     print_expr,
 )
+from repro.ir.types import BFloat, Int
 from repro.lowering.simplify import simplify_expr
 from repro.runtime import Buffer, Interpreter
 
@@ -138,3 +139,122 @@ class TestLoadSemantics:
         a = Interpreter({"A": buf}).eval_vector(wrapped, {})
         b = Interpreter({"A": buf}).eval_vector(best, {})
         np.testing.assert_array_equal(a, b)
+
+
+# -- runtime invariants --------------------------------------------------------
+
+
+_PROPERTY_PIPELINES = {}
+
+
+def _conv1d_pipeline():
+    """One compiled conv1d/tensor app shared across property examples
+    (equality saturation is too slow to re-run per example)."""
+    if "conv1d" not in _PROPERTY_PIPELINES:
+        from repro.apps import conv1d
+
+        app = conv1d.build("tensor", taps=16, rows=1)
+        app.backend = "compile"
+        _PROPERTY_PIPELINES["conv1d"] = (app, app.compile())
+    return _PROPERTY_PIPELINES["conv1d"]
+
+
+class TestArenaReuseSoundness:
+    """Recycled arena buffers and memoized operands must be invisible:
+    any sequence of requests through one plan produces the exact bytes
+    a fresh arena-less run produces."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 2**16), min_size=1, max_size=5))
+    def test_plan_sequence_matches_fresh_runs(self, seeds):
+        app, pipe = _conv1d_pipeline()
+        plan = pipe.plan()
+        params = list(app.inputs.items())
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            request = {
+                params[0][0].name: rng.standard_normal(
+                    params[0][1].shape
+                ).astype(np.float32),
+                params[1][0].name: params[1][1],
+            }
+            np.testing.assert_array_equal(
+                plan.run(request), pipe.run(request)
+            )
+
+
+class TestFromNumpyZeroCopyPredicate:
+    """``Buffer.from_numpy`` wraps zero-copy exactly when no copy is
+    forced: C-contiguous source, matching storage dtype, not bf16."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        source=st.sampled_from(["f4", "f8", "i4"]),
+        target=st.sampled_from(["f32", "bf16", "i32", None]),
+        contiguous=st.booleans(),
+        seed=st.integers(0, 99),
+    )
+    def test_sharing_matches_reference_predicate(
+        self, source, target, contiguous, seed
+    ):
+        rng = np.random.default_rng(seed)
+        array = (rng.standard_normal(32) * 10).astype(source)
+        if not contiguous:
+            array = array[::2]
+        dtype = {
+            "f32": Float(32), "bf16": BFloat(16), "i32": Int(32), None: None
+        }[target]
+        if dtype is None and source == "f8":
+            storage = np.float64
+        elif dtype is None:
+            storage = array.dtype.type
+        else:
+            storage = dtype.to_numpy()
+        buf = Buffer.from_numpy("A", array, dtype=dtype)
+        expect_share = (
+            contiguous
+            and array.dtype == np.dtype(storage)
+            and target != "bf16"
+        )
+        assert np.shares_memory(buf.data, array) == expect_share
+        # and regardless of sharing, the contents agree (bf16 rounds)
+        if target != "bf16":
+            np.testing.assert_array_equal(
+                buf.data, array.astype(storage).ravel()
+            )
+
+
+class TestShuffleMemoIsolation:
+    """The arena's shuffle-operand memo keys on weight *values*: two
+    requests with different weights must never share a memo entry, and
+    each must match its own fresh arena-less run bit for bit."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed_a=st.integers(0, 2**16), seed_b=st.integers(0, 2**16))
+    def test_distinct_weights_never_alias(self, seed_a, seed_b):
+        app, pipe = _conv1d_pipeline()
+        plan = pipe.plan()
+        params = list(app.inputs.items())
+        image = params[0][1]
+        weights_shape = params[1][1].shape
+        request_a = {
+            params[0][0].name: image,
+            params[1][0].name: np.random.default_rng(seed_a)
+            .standard_normal(weights_shape)
+            .astype(np.float32),
+        }
+        request_b = {
+            params[0][0].name: image,
+            params[1][0].name: np.random.default_rng(seed_b)
+            .standard_normal(weights_shape)
+            .astype(np.float32),
+        }
+        out_a = plan.run(request_a).copy()
+        out_b = plan.run(request_b)
+        # each sequenced run matches its own fresh, memo-less run
+        np.testing.assert_array_equal(out_a, pipe.run(request_a))
+        np.testing.assert_array_equal(out_b, pipe.run(request_b))
+        if not np.array_equal(
+            request_a[params[1][0].name], request_b[params[1][0].name]
+        ):
+            assert not np.array_equal(out_a, out_b)

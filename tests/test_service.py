@@ -4,9 +4,11 @@ concurrency, and the batch driver."""
 import multiprocessing
 import os
 import pickle
+import threading
 
 import numpy as np
 import pytest
+from conftest import build_requests
 
 from repro.apps import conv1d
 from repro.hardboiled import SelectionError
@@ -24,6 +26,7 @@ from repro.service import (
     warm_select,
 )
 from repro.service.store import ARTIFACT_FORMAT_VERSION
+from repro.runtime.kernel_cache import KernelCache
 
 
 def small_app(taps=8):
@@ -305,6 +308,94 @@ class TestInvalidation:
         assert len(store) == 0
 
 
+def _bkernel_files(root):
+    return [
+        os.path.join(dirpath, name)
+        for dirpath, _, files in os.walk(root)
+        for name in files
+        if name.endswith(".bkernel")
+    ]
+
+
+class TestBatchedKernelPersistence:
+    """Batch-axis kernel variants ride the same artifact store as the
+    scalar compile: persisted under digested batch-aware keys, restored
+    bit-exactly, and stale formats recompiled — never served."""
+
+    def _compiled(self, store):
+        # a fresh KernelCache stands in for a fresh process: the shared
+        # DEFAULT_CACHE would satisfy batched lookups in memory and the
+        # store would never be consulted
+        app = small_app()
+        pipe, _ = compile_lowered(
+            lower(app.output), store, backend="compile",
+            kernel_cache=KernelCache(),
+        )
+        return app, pipe
+
+    def test_batched_kernel_restores_across_processes(self, tmp_path):
+        app, pipe = self._compiled(ArtifactStore(tmp_path))
+        requests = build_requests(app, 4, np.random.default_rng(7))
+        cold = pipe.run_many(requests, batch_axis=True)
+        assert len(_bkernel_files(tmp_path)) == 1
+
+        # a fresh store + pipeline stands in for a fresh process: the
+        # batched kernel must restore (artifact hit + kernel hit, zero
+        # writes) and reproduce the cold bytes
+        warm_store = ArtifactStore(tmp_path)
+        _, warm_pipe = self._compiled(warm_store)
+        assert warm_store.stats.hits == 1  # the .artifact
+        warm = warm_pipe.run_many(requests, batch_axis=True)
+        assert warm_store.stats.hits == 2  # ... and the .bkernel
+        assert warm_store.stats.writes == 0
+        for a, b in zip(cold, warm):
+            np.testing.assert_array_equal(a, b)
+
+    def test_stale_kernel_format_recompiles_and_repersists(self, tmp_path):
+        from repro.runtime.codegen import KERNEL_FORMAT_VERSION
+
+        app, pipe = self._compiled(ArtifactStore(tmp_path))
+        requests = build_requests(app, 3, np.random.default_rng(11))
+        cold = pipe.run_many(requests, batch_axis=True)
+        [path] = _bkernel_files(tmp_path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["format"] == KERNEL_FORMAT_VERSION
+        payload["format"] = KERNEL_FORMAT_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        fresh_store = ArtifactStore(tmp_path)
+        _, fresh_pipe = self._compiled(fresh_store)
+        out = fresh_pipe.run_many(requests, batch_axis=True)
+        for a, b in zip(cold, out):
+            np.testing.assert_array_equal(a, b)
+        assert fresh_store.stats.stale == 1
+        assert fresh_store.stats.writes == 1  # re-persisted, current format
+
+        # the rewritten kernel serves the next process without staleness
+        final_store = ArtifactStore(tmp_path)
+        _, final_pipe = self._compiled(final_store)
+        final_pipe.run_many(requests, batch_axis=True)
+        assert final_store.stats.stale == 0
+        assert final_store.stats.writes == 0
+
+    def test_embedded_key_mismatch_is_stale(self, tmp_path):
+        app, pipe = self._compiled(ArtifactStore(tmp_path))
+        requests = build_requests(app, 2, np.random.default_rng(3))
+        pipe.run_many(requests, batch_axis=True)
+        [path] = _bkernel_files(tmp_path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["key"] = payload["key"] + "-moved"
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        store = ArtifactStore(tmp_path)
+        _, fresh_pipe = self._compiled(store)
+        fresh_pipe.run_many(requests, batch_axis=True)
+        assert store.stats.stale == 1
+
+
 class TestConcurrency:
     def test_concurrent_writers_leave_store_consistent(self, tmp_path):
         """Many processes hammering one store: no torn artifacts, no
@@ -328,6 +419,49 @@ class TestConcurrency:
                 artifact = pickle.load(handle)
             assert isinstance(artifact, CompileArtifact)
             assert artifact.key_digest == digest
+        leftovers = [
+            name
+            for _, _, files in os.walk(tmp_path)
+            for name in files
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_concurrent_kernel_writers_stay_atomic(self, tmp_path):
+        """Threads hammering one batched-kernel key: readers see a full
+        payload or a miss, never a torn one; no temp files survive."""
+        app = small_app()
+        pipe, _ = compile_lowered(
+            lower(app.output), ArtifactStore(tmp_path), backend="compile",
+            kernel_cache=KernelCache(),
+        )
+        requests = build_requests(app, 2, np.random.default_rng(5))
+        pipe.run_many(requests, batch_axis=True)
+        kernel = next(k for k in pipe._batched.values() if k is not None)
+
+        store = ArtifactStore(tmp_path)
+        failures = []
+
+        def writer():
+            for _ in range(12):
+                if store.put_kernel("contended-key", kernel) is None:
+                    failures.append("write skipped")
+
+        def reader():
+            for _ in range(24):
+                got = store.get_kernel("contended-key")
+                if got is not None and not hasattr(got, "fn"):
+                    failures.append("torn read")
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+        assert store.stats.stale == 0  # a torn payload would count here
+        assert store.get_kernel("contended-key") is not None
         leftovers = [
             name
             for _, _, files in os.walk(tmp_path)

@@ -5,8 +5,11 @@ import threading
 
 import numpy as np
 import pytest
+from conftest import (
+    build_vector_pipeline as build_pipeline,
+    make_vector_input as make_input,
+)
 
-from repro import frontend as hl
 from repro.apps import conv1d, upsample
 from repro.lowering import lower
 from repro.runtime import kernel_cache as kc
@@ -16,21 +19,6 @@ from repro.runtime.kernel_cache import KernelCache
 from repro.runtime.plan import BufferArena
 from repro.service import Server
 from repro.ir.types import BFloat, Float
-
-
-def build_pipeline(width=64, split=8, vector=8):
-    inp = hl.ImageParam(hl.Float(32), 1, name="sv_in")
-    x, xi = hl.Var("x"), hl.Var("xi")
-    f = hl.Func("sv_out")
-    f[x] = inp[x] * 2.0 + 1.0
-    f.bound(x, 0, width)
-    f.split(x, x, xi, split).vectorize(xi, vector)
-    return inp, f
-
-
-def make_input(width=64, seed=3):
-    rng = np.random.default_rng(seed)
-    return rng.standard_normal(width).astype(np.float32)
 
 
 class TestBufferIngest:
@@ -357,7 +345,7 @@ class TestRunMany:
         pipe = CompiledPipeline(lower(f), backend="compile")
         requests = self._requests(inp, 9)
         sequential = [pipe.run(r) for r in requests]
-        parallel = pipe.run_many(requests, workers=3)
+        parallel = pipe.run_many(requests, workers=3, batch_axis=False)
         assert len(parallel) == 9
         for a, b in zip(sequential, parallel):
             np.testing.assert_array_equal(a, b)
@@ -376,7 +364,7 @@ class TestRunMany:
         inp, f = build_pipeline()
         pipe = CompiledPipeline(lower(f), backend="compile")
         requests = self._requests(inp, 3)
-        results = pipe.run_many(requests, workers=1)
+        results = pipe.run_many(requests, workers=1, batch_axis=False)
         for r, request in zip(results, requests):
             np.testing.assert_array_equal(r, pipe.run(request))
 
@@ -402,18 +390,21 @@ class TestRunMany:
 
 class TestServer:
     def test_serves_batches_bit_identical(self):
+        # batch_axis=False pins the worker-pool path; the batch-axis
+        # serving path is covered by tests/test_batched.py
         inp, f = build_pipeline()
         pipe = CompiledPipeline(lower(f), backend="compile")
         requests = [{inp: make_input(seed=i)} for i in range(8)]
         expected = [pipe.run(r) for r in requests]
         with Server(pipe, workers=3) as server:
             for _ in range(2):  # second batch reuses warm plans
-                results = server.run_many(requests)
+                results = server.run_many(requests, batch_axis=False)
                 for a, b in zip(expected, results):
                     np.testing.assert_array_equal(a, b)
             stats = server.stats()
         assert stats["requests"] == 16
         assert stats["batches"] == 2
+        assert stats["batched_batches"] == 0
         assert 1 <= len(stats["plans"]) <= 3
         assert sum(p["runs"] for p in stats["plans"]) == 16
 

@@ -175,6 +175,83 @@ def batch_axis_race(sizes, batch=BATCH, workers=WORKERS):
     return results
 
 
+#: --faulted smoke: per-visit probability of an injected kernel failure
+FAULT_RATE = 0.10
+#: chosen so the very first kernel visit fires (fraction 0.013 < 0.10)
+#: — the smoke provably exercises a fault on every run
+FAULT_SEED = 49
+
+
+def faulted_smoke(sizes, workers=2, rate=FAULT_RATE, seed=FAULT_SEED):
+    """Serve the suite under a ``rate`` injected-kernel-failure storm.
+
+    Graceful-degradation gate: every request is answered (no silent
+    drops), answered outputs are bit-identical to the unfaulted run,
+    failures surfacing to callers stay rare (the retry budget and the
+    breaker's interpreter fallback absorb the storm), and the server's
+    stats() prove recovery work actually happened.
+    """
+    from repro.runtime.executor import RequestError
+    from repro.service import faults
+    from repro.service.faults import FaultPlan, FaultSpec
+
+    print_header(
+        "Faulted serving smoke — "
+        f"{rate:.0%} injected kernel-failure rate, {workers} workers,"
+        " retries + circuit-breaker degradation"
+    )
+    total_fired = total_errors = total_requests = 0
+    for taps in sizes:
+        app = conv1d.build("tensor", taps=taps, rows=1)
+        app.backend = "compile"
+        pipeline = app.compile()
+        requests = build_requests(app, requests_for(taps), seed=17)
+        expected = [pipeline.run(request) for request in requests]
+        plan = FaultPlan(
+            seed=seed, specs=[FaultSpec("raise-in-kernel", rate=rate)]
+        )
+        with Server(
+            pipeline, workers=workers, retries=2, breaker_threshold=3
+        ) as server:
+            with faults.active(plan):
+                outputs = server.run_many(requests, on_error="return")
+            stats = server.stats()
+        assert len(outputs) == len(requests), "requests silently dropped"
+        errors = 0
+        for reference, output in zip(expected, outputs):
+            if isinstance(output, RequestError):
+                errors += 1
+                continue
+            assert np.array_equal(output, reference), (
+                f"taps={taps}: faulted serving output differs from the"
+                " unfaulted run"
+            )
+        recovered = stats["retries"] > 0 or stats["degraded"]
+        assert stats["failures"] == 0 or recovered, (
+            f"taps={taps}: failures happened but no recovery path ran"
+        )
+        total_fired += plan.fired()
+        total_errors += errors
+        total_requests += len(requests)
+        print(
+            f"  conv1d k={taps}: {len(requests)} requests,"
+            f" {plan.fired()} faults fired, {stats['retries']} retries,"
+            f" degraded={stats['degraded']}"
+            f" (backend breaker trips={stats['breakers']['backend']['trips']}),"
+            f" {errors} surfaced errors"
+        )
+    assert total_fired > 0, "fault plan never fired — smoke proved nothing"
+    # graceful: the retry budget + degradation absorb almost everything
+    assert total_errors <= max(1, total_requests // 10), (
+        f"{total_errors}/{total_requests} requests failed — degradation"
+        " is not graceful"
+    )
+    print(
+        f"faulted smoke ok: {total_fired} faults over {total_requests}"
+        f" requests, {total_errors} surfaced"
+    )
+
+
 def report_batch_axis(results, workers):
     print_header(
         "Batch-axis kernel — one stacked kernel call per bucket vs."
@@ -248,7 +325,17 @@ def main() -> int:
         help="bit-identity + multi-worker plumbing on small workloads;"
         " no timing assertions (CI-safe)",
     )
+    parser.add_argument(
+        "--faulted",
+        action="store_true",
+        help="graceful-degradation smoke: serve under a"
+        f" {FAULT_RATE:.0%} injected kernel-failure rate and assert"
+        " bit-identical answered outputs (CI-safe)",
+    )
     args = parser.parse_args()
+    if args.faulted:
+        faulted_smoke(SMOKE_SIZES)
+        return 0
     if args.smoke:
         results = race(SMOKE_SIZES, workers=2)
         interpreter_parity(SMOKE_SIZES)

@@ -29,6 +29,7 @@ from ..ir import as_int
 from ..lowering.pipeline import Lowered, lower
 from .buffer import Buffer
 from .counters import Counters
+from .faultpoints import fire
 from .interpreter import Interpreter
 from .kernel_cache import (
     DEFAULT_CACHE,
@@ -62,6 +63,25 @@ def _check_backend(backend: str) -> str:
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
+
+
+class RequestError(RuntimeError):
+    """One request of a ``run_many`` batch failed.
+
+    Returned *in place of* that request's output when the batch runs
+    with ``on_error="return"``, so a single poisoned request cannot
+    take down its whole bucket.  The original exception — with its
+    traceback attached — is preserved on :attr:`original`; the failing
+    request's position in the batch on :attr:`index`.
+    """
+
+    def __init__(self, index: int, original: BaseException) -> None:
+        super().__init__(
+            f"request {index} failed:"
+            f" {type(original).__name__}: {original}"
+        )
+        self.index = index
+        self.original = original
 
 
 class CompiledPipeline:
@@ -197,6 +217,7 @@ class CompiledPipeline:
         workers: Optional[int] = None,
         backend: Optional[str] = None,
         batch_axis: Optional[bool] = None,
+        on_error: str = "raise",
     ) -> List[np.ndarray]:
         """Run a batch of same-shaped requests, optionally in parallel.
 
@@ -220,7 +241,21 @@ class CompiledPipeline:
         ``workers=1`` runs the batch on one plan in the calling thread.
         Counters are not supported here — use :meth:`run` for
         instrumented executions.
+
+        ``on_error`` selects the failure policy.  ``"raise"`` (the
+        default) propagates the first failure.  ``"return"`` isolates
+        failures per request: the returned list holds a
+        :class:`RequestError` (original exception + traceback attached)
+        at each failing index and real outputs everywhere else.  A
+        batch-axis kernel failure cannot be pinned on one request — the
+        bucket is one kernel call — so the bucket transparently re-runs
+        on the looped path for isolation, unless ``batch_axis=True``
+        was explicit (then the error propagates as-is).
         """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
         mode = (
             _check_backend(backend) if backend is not None else self.backend
         )
@@ -240,25 +275,42 @@ class CompiledPipeline:
             except BatchingUnsupported:
                 if explicit:
                     raise
+            except Exception:
+                # a mid-kernel failure in the single batch-axis call
+                # has no owning request; fall through to the looped
+                # path so one bad request fails alone
+                if explicit or on_error == "raise":
+                    raise
         if workers is None:
             workers = os.cpu_count() or 1
         workers = max(1, min(int(workers), len(requests)))
-        if workers == 1:
-            plan = self.plan(backend=mode)
-            return [plan.run(request) for request in requests]
         results: List[Optional[np.ndarray]] = [None] * len(requests)
-        chunk = -(-len(requests) // workers)  # ceil division
 
-        def run_chunk(start: int) -> None:
+        def run_span(start: int, stop: int) -> None:
             plan = self.plan(backend=mode)
-            for i in range(start, min(start + chunk, len(requests))):
-                results[i] = plan.run(requests[i])
+            for i in range(start, stop):
+                try:
+                    results[i] = plan.run(requests[i])
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    results[i] = RequestError(i, exc)
+                    # a failed run may leave the plan's buffers in a
+                    # partial state; rebuild it (cheap: cache hit)
+                    plan = self.plan(backend=mode)
+
+        if workers == 1:
+            run_span(0, len(requests))
+            return results
+        chunk = -(-len(requests) // workers)  # ceil division
 
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(run_chunk, start)
+                pool.submit(
+                    run_span, start, min(start + chunk, len(requests))
+                )
                 for start in range(0, len(requests), chunk)
             ]
             for future in futures:
@@ -289,8 +341,10 @@ class CompiledPipeline:
         env = stride_env(buffers)
         if mode == "compile":
             kernel = self.kernel_cache.get(self.lowered, key=self.cache_key)
+            fire("kernel.compile")
             kernel(buffers, env)
             return out.to_numpy()
+        fire("kernel.interpret")
         interp = Interpreter(buffers, counters)
         interp.run(self.lowered.stmt, env)
         if counters is not None:

@@ -80,6 +80,42 @@ PICKLE_LOAD_ERRORS = (
 )
 
 
+#: header of every checksummed payload file: magic + format byte
+FRAME_MAGIC = b"RPROF\x01"
+
+
+class ChecksumError(ValueError):
+    """A framed payload failed its integrity check (torn or bit-rotted)."""
+
+
+def frame_blob(blob: bytes) -> bytes:
+    """Wrap ``blob`` in the checksummed on-disk frame.
+
+    Layout: ``FRAME_MAGIC + sha256(blob) + blob``.  The checksum lets
+    readers distinguish a torn or bit-rotted file from a valid payload
+    *before* handing bytes to the pickle layer — corruption becomes a
+    typed :class:`ChecksumError` instead of undefined unpickling
+    behavior.
+    """
+    return FRAME_MAGIC + hashlib.sha256(blob).digest() + blob
+
+
+def unframe_blob(data: bytes) -> bytes:
+    """Verify and strip the frame written by :func:`frame_blob`.
+
+    Raises :class:`ChecksumError` on a missing/unknown header or a
+    checksum mismatch — never returns unverified bytes.
+    """
+    header = len(FRAME_MAGIC)
+    if len(data) < header + 32 or not data.startswith(FRAME_MAGIC):
+        raise ChecksumError("missing or unknown payload frame header")
+    digest = data[header : header + 32]
+    blob = data[header + 32 :]
+    if hashlib.sha256(blob).digest() != digest:
+        raise ChecksumError("payload checksum mismatch (corrupt file)")
+    return blob
+
+
 def sharded_path(root: str, key: str, suffix: str) -> str:
     """``<root>/<key[:2]>/<key><suffix>`` — the shared content-addressed
     disk layout (two-level sharding keeps directories small)."""

@@ -52,6 +52,7 @@ from ..ir.stmt import MemoryType
 from ..ir.types import DataType, TypeCode
 from ..targets.bfloat16 import round_to_bfloat16
 from .buffer import Buffer, StackedBuffer
+from .faultpoints import fire
 from .interpreter import Interpreter, tile_index
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -143,6 +144,7 @@ class BufferArena:
             buf.data.fill(0)
             self.buffer_reuses += 1
             return buf
+        fire("arena.alloc", name=name)
         self.buffer_allocs += 1
         return Buffer(
             name, dtype, key[2], memory_type=memory_type, is_external=False
@@ -176,6 +178,7 @@ class BufferArena:
             buf.data.fill(0)
             self.buffer_reuses += 1
             return buf
+        fire("arena.alloc", name=name)
         self.buffer_allocs += 1
         return StackedBuffer(
             name, dtype, key[2], memory_type=memory_type, batch=int(batch)
@@ -365,8 +368,10 @@ class ExecutionPlan:
             result = flat.reshape(self._out_shape)
         self._out_buffer.data = flat
         if self.kernel is not None:
+            fire("kernel.compile")
             self.kernel(self._buffers, self._env, arena=self.arena)
         else:
+            fire("kernel.interpret")
             Interpreter(self._buffers, None).run(self.lowered.stmt, self._env)
         self.runs += 1
         return result
@@ -636,6 +641,7 @@ class BatchedExecutionPlan:
         self._out_sb.data = flat
         self._out_sb.batch = batch
         self._env["batch.size"] = batch
+        fire("kernel.compile", batched=True)
         self.kernel(self._buffers, self._env, arena=self.arena)
         self.runs += 1
         self.batched_requests += batch

@@ -17,7 +17,15 @@ top of the compiler:
 * :mod:`.serve` — :class:`Server`: the execution-side counterpart —
   persistent worker threads, each holding a warm
   :class:`~repro.runtime.plan.ExecutionPlan`, serving batches of
-  same-shaped requests.
+  same-shaped requests, with retries, admission control, and circuit
+  breakers that degrade to slower-but-equivalent paths on repeated
+  failure.
+* :mod:`.supervisor` — :class:`WorkerPool`: crash-isolated worker
+  *processes* supervised over pipes — heartbeats, deadlines, automatic
+  restarts, and bounded re-dispatch of in-flight requests.
+* :mod:`.faults` — the deterministic fault-injection harness
+  (:class:`FaultPlan`) and the :class:`CircuitBreaker` primitive the
+  serving tier degrades with.
 
 Quick tour::
 
@@ -45,12 +53,19 @@ from .fingerprint import (
     rule_fingerprint,
     ruleset_fingerprint,
 )
-from .serve import Server
+from .faults import CircuitBreaker, FaultPlan, FaultSpec, InjectedFault
+from .serve import RejectedError, Server, ServerClosed
 from .store import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactStore,
     CompileArtifact,
     StoreStats,
+)
+from .supervisor import (
+    DeadlineExceeded,
+    RemoteError,
+    WorkerCrashed,
+    WorkerPool,
 )
 
 __all__ = [
@@ -59,12 +74,22 @@ __all__ = [
     "ArtifactStore",
     "BatchCompiler",
     "BatchReport",
+    "CircuitBreaker",
     "CompileArtifact",
     "CompileJob",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "JobResult",
+    "RejectedError",
+    "RemoteError",
     "Server",
+    "ServerClosed",
     "StoreStats",
     "WarmCompileResult",
+    "WorkerCrashed",
+    "WorkerPool",
     "compile_lowered",
     "compile_one",
     "fingerprint_families",

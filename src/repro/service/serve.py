@@ -21,22 +21,60 @@ shared between threads; the pipeline's :class:`KernelCache` is
 thread-safe and shared.  Outputs are bit-identical to sequential
 ``pipeline.run`` on either backend — asserted by the serving benchmark
 and test suite.
+
+Fault tolerance
+---------------
+
+The server survives faulty kernels instead of propagating every
+failure to the caller:
+
+* each request gets ``retries`` extra attempts (the compute is pure,
+  so re-running is always safe);
+* a :class:`~repro.service.faults.CircuitBreaker` per degradable path:
+  repeated *consecutive* failures of the compiled backend degrade the
+  server to the interpreter (bit-identical outputs, slower), and
+  repeated batch-axis failures route ``run_many`` through the
+  per-request worker pool;
+* ``max_pending`` bounds admission — ``submit`` blocks for
+  backpressure or raises :class:`RejectedError` with ``block=False``;
+* ``close()`` is idempotent and drains in-flight work; submissions
+  racing a close get a typed :class:`ServerClosed`.
+
+Every recovery action is counted in :meth:`Server.stats`.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..runtime.executor import CompiledPipeline, InputMap, _check_backend
+from ..runtime.executor import (
+    CompiledPipeline,
+    InputMap,
+    RequestError,
+    _check_backend,
+)
 from ..runtime.plan import (
     BatchedExecutionPlan,
     BatchingUnsupported,
     ExecutionPlan,
 )
+from .faults import CircuitBreaker
+
+
+class ServerClosed(RuntimeError):
+    """The server is closed — no new work is accepted."""
+
+    def __init__(self, message: str = "server is closed") -> None:
+        super().__init__(message)
+
+
+class RejectedError(RuntimeError):
+    """Admission control rejected the request (pending queue full)."""
 
 
 class Server:
@@ -61,6 +99,21 @@ class Server:
         shuffles); ``False`` always fans out over the pool;
         ``True`` requires the batched path and raises
         :class:`~repro.runtime.plan.BatchingUnsupported` otherwise.
+    retries:
+        Extra attempts per request after a failure (default 1).  The
+        pipeline is pure compute, so a retry can never double-apply
+        anything; a failed attempt also rebuilds the worker's plan in
+        case the failure left partial buffer state.
+    retry_delay:
+        Base backoff between attempts, scaled linearly per attempt.
+    max_pending:
+        Admission bound: at most this many requests may be in flight
+        (queued + running).  ``None`` (default) is unbounded.  When
+        full, ``submit(block=True)`` applies backpressure and
+        ``submit(block=False)`` raises :class:`RejectedError`.
+    breaker_threshold:
+        Consecutive failures before a circuit breaker trips (see
+        module docstring).
     """
 
     def __init__(
@@ -69,6 +122,10 @@ class Server:
         workers: Optional[int] = None,
         backend: Optional[str] = None,
         batch_axis: Optional[bool] = None,
+        retries: int = 1,
+        retry_delay: float = 0.005,
+        max_pending: Optional[int] = None,
+        breaker_threshold: int = 3,
     ) -> None:
         if not isinstance(pipeline, CompiledPipeline):
             pipeline = pipeline.compile()
@@ -83,11 +140,27 @@ class Server:
         )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
+        self.retries = int(retries)
+        self.retry_delay = float(retry_delay)
+        self.max_pending = max_pending
+        self._admission = (
+            threading.Semaphore(max_pending)
+            if max_pending is not None
+            else None
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
         self._local = threading.local()
         self._lock = threading.Lock()
+        #: lifecycle lock makes the closed-check + pool submit atomic
+        #: against close(); never held while blocking on admission or
+        #: while draining, so submitters cannot deadlock a closer.
+        self._lifecycle = threading.Lock()
         self._plans: List[ExecutionPlan] = []
         self._closed = False
         self.batch_axis = batch_axis
@@ -96,25 +169,76 @@ class Server:
         self.requests_served = 0
         self.batches_served = 0
         self.batched_batches = 0
+        self.failures = 0
+        self.retries_performed = 0
+        self.rejected = 0
+        #: trips -> plans degrade from the compiled backend to the
+        #: interpreter (same outputs; see the parity test suite)
+        self.backend_breaker = CircuitBreaker(
+            threshold=breaker_threshold, name="backend"
+        )
+        #: trips -> run_many stops attempting the batch-axis kernel
+        #: and fans buckets over the per-request worker pool
+        self.batch_breaker = CircuitBreaker(
+            threshold=breaker_threshold, name="batch-axis"
+        )
+        self._degraded_backend: Optional[str] = None
+        #: bumped whenever the effective backend changes so worker
+        #: threads drop their cached plan and rebuild on the new path
+        self._plan_generation = 0
 
     # -- worker-side ---------------------------------------------------------
 
+    def _effective_backend(self) -> str:
+        return self._degraded_backend or self.backend
+
     def _plan(self) -> ExecutionPlan:
-        plan = getattr(self._local, "plan", None)
-        if plan is None:
-            plan = self.pipeline.plan(backend=self.backend)
-            self._local.plan = plan
-            with self._lock:
-                self._plans.append(plan)
+        generation = self._plan_generation
+        entry = getattr(self._local, "plan_entry", None)
+        if entry is not None and entry[0] == generation:
+            return entry[1]
+        plan = self.pipeline.plan(backend=self._effective_backend())
+        self._local.plan_entry = (generation, plan)
+        with self._lock:
+            self._plans.append(plan)
         return plan
+
+    def _record_backend_failure(self) -> None:
+        tripped = self.backend_breaker.record_failure()
+        if tripped and self._effective_backend() == "compile":
+            with self._lock:
+                self._degraded_backend = "interpret"
+                self._plan_generation += 1
+            # the degraded path starts with a clean failure streak;
+            # the trip stays counted in breaker stats
+            self.backend_breaker.reset()
 
     def _run_one(
         self, request: Optional[InputMap], out: Optional[np.ndarray]
     ) -> np.ndarray:
-        result = self._plan().run(request, out=out)
-        with self._lock:
-            self.requests_served += 1
-        return result
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                result = self._plan().run(request, out=out)
+            except Exception:
+                with self._lock:
+                    self.failures += 1
+                self._record_backend_failure()
+                # the failed run may have left partial buffer state in
+                # the plan; drop it so the next attempt rebuilds (cheap
+                # — the kernel is a cache hit)
+                self._local.plan_entry = None
+                if attempt + 1 >= attempts:
+                    raise
+                with self._lock:
+                    self.retries_performed += 1
+                time.sleep(self.retry_delay * (attempt + 1))
+            else:
+                self.backend_breaker.record_success()
+                with self._lock:
+                    self.requests_served += 1
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- public API ----------------------------------------------------------
 
@@ -122,6 +246,8 @@ class Server:
         self,
         request: Optional[InputMap],
         out: Optional[np.ndarray] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
     ) -> "Future[np.ndarray]":
         """Enqueue one request; the future resolves to its output array.
 
@@ -130,10 +256,46 @@ class Server:
         a request's arrays (or a passed ``out``) until the future has
         resolved; ``run``/``run_many`` block, so this only concerns
         ``submit`` callers overlapping their own work.
+
+        With ``max_pending`` set, a full server blocks the caller
+        (backpressure) until a slot frees, up to ``timeout`` seconds;
+        ``block=False`` raises :class:`RejectedError` immediately
+        instead.  A closed server raises :class:`ServerClosed`.
         """
-        if self._closed:
-            raise RuntimeError("server is closed")
-        return self._pool.submit(self._run_one, request, out)
+        acquired = False
+        if self._admission is not None:
+            if block:
+                acquired = (
+                    self._admission.acquire(timeout=timeout)
+                    if timeout is not None
+                    else self._admission.acquire()
+                )
+            else:
+                acquired = self._admission.acquire(blocking=False)
+            if not acquired:
+                with self._lock:
+                    self.rejected += 1
+                raise RejectedError(
+                    f"admission queue full ({self.max_pending} pending)"
+                )
+        try:
+            with self._lifecycle:
+                if self._closed:
+                    raise ServerClosed()
+                try:
+                    future = self._pool.submit(self._run_one, request, out)
+                except RuntimeError as exc:
+                    # pool shut down between flag-set and our check —
+                    # cannot happen while we hold the lifecycle lock,
+                    # but keep the typed error as a belt-and-braces
+                    raise ServerClosed() from exc
+        except BaseException:
+            if acquired:
+                self._admission.release()
+            raise
+        if self._admission is not None:
+            future.add_done_callback(lambda _f: self._admission.release())
+        return future
 
     def run(self, request: Optional[InputMap] = None) -> np.ndarray:
         """Run one request synchronously on the worker pool."""
@@ -162,6 +324,7 @@ class Server:
         self,
         requests: Sequence[Optional[InputMap]],
         batch_axis: Optional[bool] = None,
+        on_error: str = "raise",
     ) -> List[np.ndarray]:
         """Run a batch; outputs come back in request order.
 
@@ -170,9 +333,22 @@ class Server:
         ``[B, ...]``); anything the batched path cannot take falls back
         to fanning out over the worker pool.  ``batch_axis`` overrides
         the server-wide policy for this call (see the constructor).
+
+        A batch-axis kernel *failure* (as opposed to an unsupported
+        bucket) also falls back to the pool — one kernel call covers
+        every request, so per-request isolation and retries require the
+        looped path — and feeds the batch breaker; once tripped, later
+        buckets skip the batched attempt entirely.  ``on_error="return"``
+        isolates failures per request: the result list carries a
+        :class:`~repro.runtime.executor.RequestError` at each failed
+        index instead of raising.
         """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
         if self._closed:
-            raise RuntimeError("server is closed")
+            raise ServerClosed()
         requests = list(requests)
         if not requests:
             return []
@@ -186,36 +362,104 @@ class Server:
                 raise BatchingUnsupported(
                     "batch-axis serving requires the compiled backend"
                 )
-            try:
-                return self._run_batched(requests)
-            except BatchingUnsupported:
-                if explicit:
-                    raise
+            healthy = (
+                self._effective_backend() == "compile"
+                and self.batch_breaker.allow()
+            )
+            if not healthy and explicit:
+                raise BatchingUnsupported(
+                    "batch-axis path disabled (backend degraded or"
+                    " batch breaker open)"
+                )
+            if healthy:
+                try:
+                    results = self._run_batched(requests)
+                except BatchingUnsupported:
+                    if explicit:
+                        raise
+                except Exception:
+                    with self._lock:
+                        self.failures += 1
+                    self.batch_breaker.record_failure()
+                    if explicit:
+                        raise
+                    # fall through: the pool path retries per request
+                else:
+                    self.batch_breaker.record_success()
+                    return results
         futures = [self.submit(request) for request in requests]
-        results = [future.result() for future in futures]
+        results: List[np.ndarray] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                results.append(RequestError(index, exc))
         with self._lock:
             self.batches_served += 1
         return results
 
     def stats(self) -> Dict[str, object]:
-        """Serving counters plus per-worker plan/arena statistics."""
+        """Serving counters plus per-worker plan/arena statistics.
+
+        Beyond throughput counters this reports every recovery action:
+        ``retries`` / ``failures`` / ``rejected``, the effective
+        backend after any degradation, both circuit breakers (trip
+        counts included), and — when the pipeline has an artifact
+        store — its IO-retry and quarantine counters.
+        """
         with self._lock:
-            stats = {
+            stats: Dict[str, object] = {
                 "workers": self.workers,
                 "requests": self.requests_served,
                 "batches": self.batches_served,
                 "batched_batches": self.batched_batches,
+                "failures": self.failures,
+                "retries": self.retries_performed,
+                "rejected": self.rejected,
+                "backend": self.backend,
+                "effective_backend": self._degraded_backend or self.backend,
+                "degraded": self._degraded_backend is not None,
+                "max_pending": self.max_pending,
                 "plans": [plan.stats() for plan in self._plans],
             }
+        stats["breakers"] = {
+            "backend": self.backend_breaker.stats(),
+            "batch_axis": self.batch_breaker.stats(),
+        }
+        if self.pipeline.artifact_store is not None:
+            stats["store"] = self.pipeline.artifact_store.stats.as_dict()
         with self._batch_lock:
             if self._batched_plan is not None:
                 stats["batched_plan"] = self._batched_plan.stats()
         return stats
 
+    def reset_breakers(self) -> None:
+        """Operator action: close both breakers and un-degrade.
+
+        Trip counts survive (see :meth:`CircuitBreaker.reset`); worker
+        plans rebuild on the restored backend at their next request.
+        """
+        self.backend_breaker.reset()
+        self.batch_breaker.reset()
+        with self._lock:
+            if self._degraded_backend is not None:
+                self._degraded_backend = None
+                self._plan_generation += 1
+
     def close(self) -> None:
-        """Drain outstanding requests and stop the workers (idempotent)."""
-        if not self._closed:
+        """Drain in-flight requests and stop the workers (idempotent).
+
+        The closed flag flips under the lifecycle lock — atomically
+        against :meth:`submit` — so a submission racing a close either
+        lands before the drain (and completes) or gets a typed
+        :class:`ServerClosed`; work is never silently dropped.
+        """
+        with self._lifecycle:
+            already = self._closed
             self._closed = True
+        if not already:
             self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "Server":

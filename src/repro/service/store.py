@@ -7,15 +7,34 @@ equality saturation) and, for the compiled backend, the generated
 is skipped too).  Artifacts are content-addressed by
 :class:`~.fingerprint.ArtifactKey` and laid out as::
 
-    <root>/<digest[:2]>/<digest>.artifact       (pickle)
+    <root>/<digest[:2]>/<digest>.artifact       (checksummed pickle)
+    <root>/quarantine/                          (corrupt payloads, kept)
 
 Writes are atomic — the payload is written to a temp file in the same
 directory and ``os.replace``-d into place — so concurrent compilers
 (the :class:`~.batch.BatchCompiler` worker processes, or independent
 services sharing a network volume) can merge into one store without a
-lock and without ever exposing a torn artifact.  Readers validate the
-embedded key and format version; anything stale or corrupt is treated
-as a miss (and unlinked), never served.
+lock and without ever exposing a torn artifact.
+
+Reads are **hardened** for serving-tier robustness:
+
+* every payload is framed with a SHA-256 checksum
+  (:func:`~repro.runtime.kernel_cache.frame_blob`), verified before any
+  bytes reach the pickle layer — bit rot and torn writes surface as a
+  typed rejection, never as undefined unpickling behavior;
+* rejected artifacts (bad checksum, format/key mismatch, stale kernel
+  format) are moved into a ``quarantine/`` directory instead of being
+  silently unlinked, so an operator can inspect what corrupted — and
+  the ``quarantined`` counter in :class:`StoreStats` proves it
+  happened;
+* transient IO errors are retried a bounded number of times
+  (``io_attempts``, short linear backoff) before the lookup degrades to
+  a miss — a flaky network mount costs a retry, not a cold compile.
+
+Every read/write passes the ``store.read`` / ``store.write`` fault
+points (:mod:`repro.runtime.faultpoints`), so corruption, slow IO, and
+transient errors are all injectable by a deterministic
+:class:`~.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -28,15 +47,23 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from ..ir import Stmt
+from ..runtime.faultpoints import fire
 from ..runtime.kernel_cache import (
+    ChecksumError,
     PICKLE_LOAD_ERRORS,
     atomic_write_bytes,
+    frame_blob,
     sharded_path,
+    unframe_blob,
 )
 from .fingerprint import ArtifactKey
 
 #: bump when the artifact layout changes; old artifacts become misses
-ARTIFACT_FORMAT_VERSION = 1
+#: (v2: payloads are checksum-framed, rejects are quarantined)
+ARTIFACT_FORMAT_VERSION = 2
+
+#: subdirectory of the store root holding rejected payloads
+QUARANTINE_DIRNAME = "quarantine"
 
 
 @dataclass
@@ -70,6 +97,11 @@ class StoreStats:
     #: artifacts found on disk but rejected (format/key mismatch, torn
     #: or unreadable payload) — counted *in addition to* a miss
     stale: int = 0
+    #: rejected payloads preserved under ``quarantine/`` (a subset of
+    #: ``stale``: rejects whose file could be moved aside for autopsy)
+    quarantined: int = 0
+    #: transient IO errors absorbed by the bounded read retry
+    io_retries: int = 0
     writes: int = 0
     #: persists that failed (read-only mount, disk full) and were
     #: skipped — the compile itself still succeeds
@@ -82,6 +114,8 @@ class StoreStats:
             "hits": self.hits,
             "misses": self.misses,
             "stale": self.stale,
+            "quarantined": self.quarantined,
+            "io_retries": self.io_retries,
             "writes": self.writes,
             "write_errors": self.write_errors,
             "load_seconds": self.load_seconds,
@@ -90,10 +124,23 @@ class StoreStats:
 
 
 class ArtifactStore:
-    """A content-addressed, multi-process-safe artifact directory."""
+    """A content-addressed, multi-process-safe artifact directory.
 
-    def __init__(self, root: str) -> None:
+    ``io_attempts``/``io_retry_delay`` bound the retry loop around
+    transient read errors (a flaky mount): each failed attempt sleeps
+    ``io_retry_delay * attempt`` before retrying, and exhaustion
+    degrades the lookup to a miss.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        io_attempts: int = 3,
+        io_retry_delay: float = 0.01,
+    ) -> None:
         self.root = str(root)
+        self.io_attempts = max(1, int(io_attempts))
+        self.io_retry_delay = float(io_retry_delay)
         os.makedirs(self.root, exist_ok=True)
         self.stats = StoreStats()
 
@@ -103,22 +150,70 @@ class ArtifactStore:
     def path_for(self, digest: str) -> str:
         return sharded_path(self.root, digest, ".artifact")
 
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, QUARANTINE_DIRNAME)
+
+    # -- hardened IO -----------------------------------------------------------
+
+    def _read_bytes(self, path: str) -> bytes:
+        """Read ``path`` with bounded retry on transient IO errors.
+
+        ``FileNotFoundError`` propagates immediately (a plain miss);
+        any other ``OSError`` is retried up to ``io_attempts`` times
+        with a short linear backoff, then re-raised.
+        """
+        last: Optional[OSError] = None
+        for attempt in range(self.io_attempts):
+            try:
+                fire("store.read", path=path)
+                with open(path, "rb") as handle:
+                    return handle.read()
+            except FileNotFoundError:
+                raise
+            except OSError as exc:
+                last = exc
+                if attempt + 1 < self.io_attempts:
+                    self.stats.io_retries += 1
+                    time.sleep(self.io_retry_delay * (attempt + 1))
+        assert last is not None
+        raise last
+
+    def _load(self, path: str):
+        """Read, checksum-verify, and unpickle one payload file."""
+        data = self._read_bytes(path)
+        return pickle.loads(unframe_blob(data))
+
+    def _write(self, path: str, payload: object) -> None:
+        """Frame and atomically persist one payload file."""
+        fire("store.write", path=path)
+        atomic_write_bytes(
+            path,
+            frame_blob(
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            ),
+        )
+
     # -- lookup ----------------------------------------------------------------
 
     def get(self, key: ArtifactKey) -> Optional[CompileArtifact]:
-        """The artifact for ``key``, or None (miss or stale)."""
+        """The artifact for ``key``, or None (miss, stale, or unreadable)."""
         digest = key.digest
         path = self.path_for(digest)
         start = time.perf_counter()
         try:
-            with open(path, "rb") as handle:
-                artifact = pickle.load(handle)
+            artifact = self._load(path)
         except FileNotFoundError:
             self.stats.misses += 1
             self.stats.load_seconds += time.perf_counter() - start
             return None
-        except PICKLE_LOAD_ERRORS:
-            self._reject(path)
+        except (ChecksumError, *PICKLE_LOAD_ERRORS) as exc:
+            if isinstance(exc, OSError):
+                # transient IO exhausted the retry budget: the file may
+                # be fine — degrade to a miss without quarantining it
+                self.stats.misses += 1
+            else:
+                self._reject(path)
             self.stats.load_seconds += time.perf_counter() - start
             return None
         if (
@@ -135,21 +230,39 @@ class ArtifactStore:
         return artifact
 
     def _reject(self, path: str) -> None:
-        """Count a stale artifact and drop it from the store."""
+        """Count a stale artifact and quarantine it for autopsy."""
         self.stats.stale += 1
         self.stats.misses += 1
         try:
-            os.unlink(path)
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            os.replace(
+                path,
+                os.path.join(self.quarantine_dir, os.path.basename(path)),
+            )
+            self.stats.quarantined += 1
         except OSError:
-            pass
+            # quarantine unavailable (read-only mount, cross-device):
+            # fall back to dropping the file so it is never re-served
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def quarantined_files(self) -> List[str]:
+        """Paths of every quarantined payload (newest last)."""
+        try:
+            entries = sorted(os.listdir(self.quarantine_dir))
+        except OSError:
+            return []
+        return [os.path.join(self.quarantine_dir, e) for e in entries]
 
     def demote_hit(self, key: ArtifactKey) -> None:
         """Reclassify the most recent hit on ``key`` as stale.
 
         For callers that discover *after* a successful ``get`` that the
         artifact is unusable (e.g. its embedded kernel payload predates
-        the current kernel format): the served-artifact is unlinked and
-        the counters read as if the lookup had missed, so the two
+        the current kernel format): the served-artifact is quarantined
+        and the counters read as if the lookup had missed, so the two
         telemetry surfaces (store stats, ``SelectionReport``) agree.
         """
         self.stats.hits -= 1
@@ -169,9 +282,7 @@ class ArtifactStore:
         artifact.key = key
         start = time.perf_counter()
         path = self.path_for(digest)
-        atomic_write_bytes(
-            path, pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
-        )
+        self._write(path, artifact)
         self.stats.writes += 1
         self.stats.store_seconds += time.perf_counter() - start
         return path
@@ -208,24 +319,26 @@ class ArtifactStore:
         """Re-hydrate the batch-axis kernel stored under ``key``.
 
         Returns a ready :class:`~repro.runtime.codegen.CompiledKernel`,
-        or None on a miss.  A payload whose embedded key disagrees or
-        whose kernel format predates the current
-        ``KERNEL_FORMAT_VERSION`` is stale: rejected, unlinked, and
-        counted — never served.
+        or None on a miss.  A payload whose checksum fails, whose
+        embedded key disagrees, or whose kernel format predates the
+        current ``KERNEL_FORMAT_VERSION`` is stale: rejected,
+        quarantined, and counted — never served.
         """
         from ..runtime.codegen import CodegenError, deserialize_kernel
 
         path = self.kernel_path_for(key)
         start = time.perf_counter()
         try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
+            payload = self._load(path)
         except FileNotFoundError:
             self.stats.misses += 1
             self.stats.load_seconds += time.perf_counter() - start
             return None
-        except PICKLE_LOAD_ERRORS:
-            self._reject(path)
+        except (ChecksumError, *PICKLE_LOAD_ERRORS) as exc:
+            if isinstance(exc, OSError):
+                self.stats.misses += 1
+            else:
+                self._reject(path)
             self.stats.load_seconds += time.perf_counter() - start
             return None
         if not isinstance(payload, dict) or payload.get("key") != key:
@@ -257,11 +370,8 @@ class ArtifactStore:
             return None
         start = time.perf_counter()
         path = self.kernel_path_for(key)
-        blob = pickle.dumps(
-            dict(payload, key=key), protocol=pickle.HIGHEST_PROTOCOL
-        )
         try:
-            atomic_write_bytes(path, blob)
+            self._write(path, dict(payload, key=key))
         except OSError:
             self.stats.write_errors += 1
             return None
@@ -272,10 +382,12 @@ class ArtifactStore:
     # -- maintenance -----------------------------------------------------------
 
     def digests(self) -> Iterator[str]:
-        """All artifact digests currently on disk."""
+        """All artifact digests currently on disk (quarantine excluded)."""
         if not os.path.isdir(self.root):
             return
         for shard in sorted(os.listdir(self.root)):
+            if shard == QUARANTINE_DIRNAME:
+                continue
             shard_dir = os.path.join(self.root, shard)
             if not os.path.isdir(shard_dir):
                 continue

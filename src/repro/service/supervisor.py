@@ -1,0 +1,726 @@
+"""Supervised multi-process serving: crash-isolated workers.
+
+The thread-pool :class:`~repro.service.serve.Server` shares one address
+space — a segfaulting kernel, a wedged extension, or an ``os._exit``
+takes the whole process down.  :class:`WorkerPool` puts each worker in
+its own *process*, supervised over a duplex pipe:
+
+* **crashes** are detected the moment the worker process dies (its
+  pipe hits EOF / its sentinel fires) and the worker is restarted with
+  a bumped incarnation number;
+* **hangs** are detected two ways: a per-request ``deadline`` measured
+  from dispatch, and heartbeat staleness for a process wedged hard
+  enough that its heartbeat thread stops (e.g. a C loop holding the
+  GIL).  Either kills and restarts the worker;
+* the in-flight request of a dead worker is **re-dispatched** under a
+  bounded retry budget with exponential backoff and deterministic
+  jitter — unless it was submitted ``idempotent=False``, in which case
+  at-most-once semantics apply and the caller gets the typed error;
+* workers **warm-start** from the shared artifact store
+  (``cache_dir``), so a restart re-hydrates kernels instead of paying
+  saturation and codegen again.
+
+Requests cross the process boundary as picklable name->array dicts
+(the same shape :func:`tests.conftest.build_requests` produces), and
+jobs as :class:`~repro.service.batch.CompileJob` specs — an ``App``
+itself is not picklable.
+
+Every recovery action — restarts, retries, deadline and heartbeat
+kills, crash counts — is reported by :meth:`WorkerPool.stats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import Future
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.executor import RequestError
+from .batch import CompileJob
+from .faults import FaultPlan
+from .serve import RejectedError, ServerClosed
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died while (or before) serving a request."""
+
+    def __init__(self, message: str, exit_code: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request overran its deadline; the worker was killed."""
+
+
+class RemoteError(RuntimeError):
+    """An exception raised inside a worker, carried back by type name.
+
+    The original traceback text is on :attr:`remote_traceback` — the
+    exception object itself never crosses the process boundary (it may
+    not be picklable), so the supervisor re-raises this typed wrapper.
+    """
+
+    def __init__(self, kind: str, message: str, remote_traceback: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.remote_traceback = remote_traceback
+
+
+class WorkerInitFailed(RuntimeError):
+    """A worker could not build its pipeline (bad job, poisoned store)."""
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _worker_main(
+    worker_id: int,
+    incarnation: int,
+    conn,
+    job: CompileJob,
+    backend: str,
+    cache_dir: Optional[str],
+    fault_plan: Optional[FaultPlan],
+    heartbeat_interval: float,
+) -> None:
+    """Entry point of one worker process.
+
+    Protocol (worker -> supervisor): ``("hb",)`` heartbeats on a side
+    thread, ``("ready", incarnation)`` once the pipeline is built, then
+    one ``("ok", req_id, output)`` or ``("err", req_id, kind, msg,
+    tb)`` per ``("req", req_id, inputs)`` received.  ``("init_err",
+    tb)`` replaces ``ready`` when the build fails.
+    """
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        try:
+            with send_lock:
+                conn.send(message)
+        except (BrokenPipeError, OSError):
+            raise SystemExit(0)  # supervisor is gone; nothing to serve
+
+    stop_beat = threading.Event()
+
+    def beat() -> None:
+        while not stop_beat.wait(heartbeat_interval):
+            try:
+                send(("hb",))
+            except SystemExit:
+                return
+
+    # beat from the very start so a hang *during init* is visible too;
+    # the heartbeat thread survives kernel runs (NumPy releases the GIL)
+    threading.Thread(target=beat, daemon=True).start()
+    try:
+        if fault_plan is not None:
+            from . import faults
+
+            faults.install(
+                fault_plan,
+                scope={"worker": worker_id, "incarnation": incarnation},
+            )
+        app = job.build_app()
+        app.backend = backend
+        pipeline = app.compile(cache_dir=cache_dir)
+    except BaseException:
+        send(("init_err", traceback.format_exc()))
+        return
+    send(("ready", incarnation))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "stop":
+            break
+        _, req_id, inputs = message
+        try:
+            output = pipeline.run(inputs)
+        except BaseException as exc:
+            send(
+                (
+                    "err",
+                    req_id,
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                )
+            )
+        else:
+            send(("ok", req_id, output))
+    stop_beat.set()
+
+
+# -- supervisor-side bookkeeping -----------------------------------------------
+
+
+class _Request:
+    __slots__ = (
+        "id",
+        "inputs",
+        "future",
+        "attempts",
+        "idempotent",
+        "deadline",
+        "not_before",
+    )
+
+    def __init__(self, req_id, inputs, idempotent, deadline):
+        self.id = req_id
+        self.inputs = inputs
+        self.future: "Future[np.ndarray]" = Future()
+        self.attempts = 0  # dispatches so far
+        self.idempotent = idempotent
+        self.deadline = deadline
+        self.not_before = 0.0  # retry backoff gate (monotonic time)
+
+
+class _Worker:
+    __slots__ = (
+        "id",
+        "incarnation",
+        "process",
+        "conn",
+        "ready",
+        "request",
+        "dispatched_at",
+        "last_heartbeat",
+        "init_strikes",
+    )
+
+    def __init__(self, wid, incarnation, process, conn, init_strikes, now):
+        self.id = wid
+        self.incarnation = incarnation
+        self.process = process
+        self.conn = conn
+        self.ready = False
+        self.request: Optional[_Request] = None
+        self.dispatched_at = 0.0
+        self.last_heartbeat = now
+        self.init_strikes = init_strikes
+
+
+def _jitter_fraction(req_id: int, attempt: int) -> float:
+    """Deterministic jitter in ``[0, 1)`` — reproducible backoff."""
+    digest = hashlib.sha256(f"{req_id}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class WorkerPool:
+    """Serve one :class:`CompileJob` from supervised worker processes.
+
+    Parameters
+    ----------
+    job:
+        The pipeline to serve, as a picklable compile spec.
+    workers:
+        Worker-process count (default 2).
+    backend:
+        Execution backend inside each worker; defaults to the job's.
+    cache_dir:
+        Shared artifact-store root for warm starts.  Strongly
+        recommended: restarted workers re-hydrate kernels from it.
+    fault_plan:
+        A :class:`~repro.service.faults.FaultPlan` installed in every
+        worker (scoped ``{"worker": id, "incarnation": n}``) — the
+        deterministic fault-injection harness for tests/benchmarks.
+    retries:
+        Extra dispatches allowed per request (default 2).  Applies to
+        worker crashes, deadline kills, and in-worker exceptions alike.
+    retry_base_delay / retry_max_delay:
+        Exponential-backoff envelope between dispatches; the actual
+        delay is ``min(max, base * 2**(attempt-1)) * (0.5 + 0.5 *
+        jitter)`` with deterministic per-request jitter.
+    deadline:
+        Default per-request deadline in seconds, measured from
+        dispatch; ``None`` disables.  Overridable per :meth:`submit`.
+    heartbeat_interval:
+        Worker heartbeat period; staleness beyond ``hang_grace``
+        (default ``max(1s, 10x interval)``) kills the worker.
+    max_pending:
+        Admission bound on queued+in-flight requests; a full pool
+        raises :class:`~repro.service.serve.RejectedError`.
+    max_restarts:
+        Total restart budget; once spent, further deaths are final.
+    mp_context:
+        Multiprocessing start-method name (``"fork"``/``"spawn"``) or
+        context object; default is the platform default.
+    """
+
+    _POLL = 0.02  # supervisor loop granularity (seconds)
+    _INIT_STRIKE_LIMIT = 3
+
+    def __init__(
+        self,
+        job: CompileJob,
+        workers: int = 2,
+        backend: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retries: int = 2,
+        retry_base_delay: float = 0.02,
+        retry_max_delay: float = 0.25,
+        deadline: Optional[float] = None,
+        heartbeat_interval: float = 0.05,
+        hang_grace: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        max_restarts: int = 16,
+        mp_context=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.job = job
+        self.backend = backend if backend is not None else job.backend
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.fault_plan = fault_plan
+        self.retries = int(retries)
+        self.retry_base_delay = float(retry_base_delay)
+        self.retry_max_delay = float(retry_max_delay)
+        self.deadline = deadline
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.hang_grace = (
+            float(hang_grace)
+            if hang_grace is not None
+            else max(1.0, 10.0 * self.heartbeat_interval)
+        )
+        self.max_pending = max_pending
+        self.max_restarts = int(max_restarts)
+        if isinstance(mp_context, str):
+            self._ctx = multiprocessing.get_context(mp_context)
+        else:
+            self._ctx = mp_context or multiprocessing.get_context()
+
+        self._mu = threading.Lock()
+        self._queue: Deque[_Request] = deque()
+        self._workers: Dict[int, _Worker] = {}
+        self._closed = False
+        self._drained = threading.Event()
+        self._req_ids = itertools.count()
+        self._wakeup_r, self._wakeup_w = self._ctx.Pipe(duplex=False)
+
+        self.restarts = 0
+        self.crashes = 0
+        self.deadline_kills = 0
+        self.heartbeat_kills = 0
+        self.retries_performed = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+
+        for wid in range(int(workers)):
+            self._spawn(wid, 0, init_strikes=0)
+        self._thread = threading.Thread(
+            target=self._supervise, daemon=True, name="repro-supervisor"
+        )
+        self._thread.start()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _spawn(self, wid: int, incarnation: int, init_strikes: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                wid,
+                incarnation,
+                child_conn,
+                self.job,
+                self.backend,
+                self.cache_dir,
+                self.fault_plan,
+                self.heartbeat_interval,
+            ),
+            daemon=True,
+            name=f"repro-worker-{wid}.{incarnation}",
+        )
+        process.start()
+        child_conn.close()
+        self._workers[wid] = _Worker(
+            wid, incarnation, process, parent_conn, init_strikes,
+            time.monotonic(),
+        )
+
+    def _nudge(self) -> None:
+        try:
+            self._wakeup_w.send(None)
+        except (BrokenPipeError, OSError):  # pragma: no cover - teardown race
+            pass
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop accepting work, drain, and shut the workers down.
+
+        Idempotent.  Queued and in-flight requests complete (with their
+        normal retry semantics) before the workers are stopped; a
+        submit racing the close gets a typed
+        :class:`~repro.service.serve.ServerClosed`.
+        """
+        with self._mu:
+            self._closed = True
+        self._nudge()
+        self._drained.wait(timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- public API ------------------------------------------------------------
+
+    def submit(
+        self,
+        inputs: Optional[Dict[str, np.ndarray]],
+        deadline: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> "Future[np.ndarray]":
+        """Enqueue one request; the future resolves to its output.
+
+        ``idempotent=False`` requests are dispatched **at most once**:
+        if the owning worker crashes or blows its deadline mid-request
+        the future fails with the typed error instead of re-running
+        work whose side effects may have partially applied.
+        """
+        with self._mu:
+            if self._closed:
+                raise ServerClosed("worker pool is closed")
+            if (
+                self.max_pending is not None
+                and self._pending_locked() >= self.max_pending
+            ):
+                self.rejected += 1
+                raise RejectedError(
+                    f"admission queue full ({self.max_pending} pending)"
+                )
+            request = _Request(
+                next(self._req_ids),
+                inputs,
+                idempotent,
+                deadline if deadline is not None else self.deadline,
+            )
+            self._queue.append(request)
+        self._nudge()
+        return request.future
+
+    def run(
+        self,
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        return self.submit(inputs, deadline=deadline).result()
+
+    def run_many(
+        self,
+        requests: Sequence[Optional[Dict[str, np.ndarray]]],
+        deadline: Optional[float] = None,
+        on_error: str = "raise",
+    ) -> List[np.ndarray]:
+        """Run a batch over the pool; outputs in request order.
+
+        ``on_error="return"`` isolates failures per request — the
+        result list carries a
+        :class:`~repro.runtime.executor.RequestError` at each failed
+        index instead of raising on the first.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
+        futures = [
+            self.submit(inputs, deadline=deadline) for inputs in requests
+        ]
+        results: List[np.ndarray] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                results.append(RequestError(index, exc))
+        return results
+
+    def stats(self) -> Dict[str, object]:
+        """Recovery and throughput counters plus per-worker state."""
+        with self._mu:
+            return {
+                "workers": [
+                    {
+                        "id": worker.id,
+                        "incarnation": worker.incarnation,
+                        "ready": worker.ready,
+                        "busy": worker.request is not None,
+                        "alive": worker.process.is_alive(),
+                    }
+                    for worker in self._workers.values()
+                ],
+                "restarts": self.restarts,
+                "crashes": self.crashes,
+                "deadline_kills": self.deadline_kills,
+                "heartbeat_kills": self.heartbeat_kills,
+                "retries": self.retries_performed,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "pending": self._pending_locked(),
+                "closed": self._closed,
+            }
+
+    # -- supervisor internals --------------------------------------------------
+
+    def _pending_locked(self) -> int:
+        inflight = sum(
+            1 for worker in self._workers.values() if worker.request
+        )
+        return len(self._queue) + inflight
+
+    def _backoff(self, request: _Request) -> float:
+        base = min(
+            self.retry_max_delay,
+            self.retry_base_delay * (2 ** max(0, request.attempts - 1)),
+        )
+        return base * (0.5 + 0.5 * _jitter_fraction(request.id, request.attempts))
+
+    def _fail_locked(self, request: _Request, error: BaseException) -> None:
+        self.failed += 1
+        request.future.set_exception(error)
+
+    def _retry_or_fail_locked(
+        self, request: _Request, error: BaseException
+    ) -> None:
+        """Re-queue a failed dispatch, or surface the error.
+
+        ``request.attempts`` already counts the dispatch that failed.
+        """
+        if not request.idempotent:
+            # at-most-once: the attempt may have (partially) run
+            self._fail_locked(request, error)
+            return
+        if request.attempts > self.retries:
+            self._fail_locked(request, error)
+            return
+        self.retries_performed += 1
+        request.not_before = time.monotonic() + self._backoff(request)
+        self._queue.appendleft(request)
+
+    def _reap_locked(
+        self,
+        worker: _Worker,
+        error: BaseException,
+        counter: str,
+        respawn: bool = True,
+    ) -> None:
+        """Bury a dead/hung worker, requeue its request, restart it."""
+        setattr(self, counter, getattr(self, counter) + 1)
+        request, worker.request = worker.request, None
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck SIGTERM
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+        else:
+            worker.process.join(timeout=1.0)
+        if request is not None:
+            self._retry_or_fail_locked(request, error)
+        del self._workers[worker.id]
+        strikes = worker.init_strikes + (0 if worker.ready else 1)
+        if (
+            respawn
+            and not self._closed
+            and self.restarts < self.max_restarts
+            and strikes < self._INIT_STRIKE_LIMIT
+        ):
+            self.restarts += 1
+            self._spawn(worker.id, worker.incarnation + 1, strikes)
+        elif not self._workers:
+            # nobody left to serve: fail everything still queued
+            while self._queue:
+                self._fail_locked(
+                    self._queue.popleft(),
+                    WorkerCrashed("no live workers remain"),
+                )
+
+    def _handle_message_locked(self, worker: _Worker, message) -> None:
+        kind = message[0]
+        now = time.monotonic()
+        worker.last_heartbeat = now
+        if kind == "hb":
+            return
+        if kind == "ready":
+            worker.ready = True
+            worker.init_strikes = 0
+            return
+        if kind == "init_err":
+            # the worker exits right after sending this; reap it now
+            # with the remote traceback as the cause
+            self._reap_locked(
+                worker,
+                WorkerInitFailed(
+                    f"worker {worker.id} failed to initialize:\n{message[1]}"
+                ),
+                "crashes",
+            )
+            return
+        request = worker.request
+        if kind == "ok":
+            _, req_id, output = message
+            if request is not None and request.id == req_id:
+                worker.request = None
+                self.completed += 1
+                request.future.set_result(output)
+            return
+        if kind == "err":
+            _, req_id, err_kind, err_msg, err_tb = message
+            if request is not None and request.id == req_id:
+                worker.request = None
+                self._retry_or_fail_locked(
+                    request, RemoteError(err_kind, err_msg, err_tb)
+                )
+            return
+
+    def _dispatch_locked(self, now: float) -> None:
+        idle = [
+            worker
+            for worker in self._workers.values()
+            if worker.ready
+            and worker.request is None
+            and worker.process.is_alive()
+        ]
+        deferred: List[_Request] = []
+        while idle and self._queue:
+            request = self._queue.popleft()
+            if request.not_before > now:
+                deferred.append(request)
+                continue
+            worker = idle.pop()
+            request.attempts += 1
+            try:
+                worker.conn.send(("req", request.id, request.inputs))
+            except (BrokenPipeError, OSError):
+                # worker died between poll and dispatch; the reap below
+                # (next loop pass) restarts it — requeue undispatched
+                request.attempts -= 1
+                deferred.append(request)
+                continue
+            worker.request = request
+            worker.dispatched_at = now
+        for request in deferred:
+            self._queue.appendleft(request)
+
+    def _supervise(self) -> None:
+        while True:
+            with self._mu:
+                now = time.monotonic()
+                # drain every worker conn, then check for deaths/hangs
+                for worker in list(self._workers.values()):
+                    try:
+                        while worker.conn.poll():
+                            self._handle_message_locked(
+                                worker, worker.conn.recv()
+                            )
+                            if worker.id not in self._workers:
+                                break  # reaped (init_err)
+                    except (EOFError, OSError):
+                        pass  # death handled below via is_alive
+                for worker in list(self._workers.values()):
+                    if not worker.process.is_alive():
+                        code = worker.process.exitcode
+                        self._reap_locked(
+                            worker,
+                            WorkerCrashed(
+                                f"worker {worker.id} (incarnation"
+                                f" {worker.incarnation}) died with exit"
+                                f" code {code}",
+                                exit_code=code,
+                            ),
+                            "crashes",
+                        )
+                        continue
+                    request = worker.request
+                    if (
+                        request is not None
+                        and request.deadline is not None
+                        and now - worker.dispatched_at > request.deadline
+                    ):
+                        self._reap_locked(
+                            worker,
+                            DeadlineExceeded(
+                                f"request {request.id} exceeded its"
+                                f" {request.deadline:.3f}s deadline on"
+                                f" worker {worker.id}"
+                            ),
+                            "deadline_kills",
+                        )
+                        continue
+                    if now - worker.last_heartbeat > self.hang_grace:
+                        self._reap_locked(
+                            worker,
+                            WorkerCrashed(
+                                f"worker {worker.id} heartbeat stale"
+                                f" (> {self.hang_grace:.2f}s); killed"
+                            ),
+                            "heartbeat_kills",
+                        )
+                        continue
+                self._dispatch_locked(now)
+                if (
+                    self._closed
+                    and not self._queue
+                    and not any(
+                        worker.request for worker in self._workers.values()
+                    )
+                ):
+                    workers = list(self._workers.values())
+                    self._workers.clear()
+                    break
+                conns = [worker.conn for worker in self._workers.values()]
+                sentinels = [
+                    worker.process.sentinel
+                    for worker in self._workers.values()
+                ]
+            connection_wait(
+                conns + sentinels + [self._wakeup_r], timeout=self._POLL
+            )
+            try:
+                while self._wakeup_r.poll():
+                    self._wakeup_r.recv()
+            except (EOFError, OSError):  # pragma: no cover - teardown race
+                pass
+        # shutdown: polite stop, then force
+        for worker in workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._drained.set()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool({self.job.label!r}, workers={len(self._workers)},"
+            f" backend={self.backend!r}, completed={self.completed})"
+        )

@@ -26,11 +26,23 @@ from repro.service import (
     warm_select,
 )
 from repro.service.store import ARTIFACT_FORMAT_VERSION
-from repro.runtime.kernel_cache import KernelCache
+from repro.runtime.kernel_cache import KernelCache, frame_blob, unframe_blob
 
 
 def small_app(taps=8):
     return conv1d.build("tensor", taps=taps, rows=1)
+
+
+def _read_payload(path):
+    """Unwrap one checksummed store payload (tests tamper semantically)."""
+    with open(path, "rb") as handle:
+        return pickle.loads(unframe_blob(handle.read()))
+
+
+def _write_payload(path, payload):
+    """Re-frame a tampered payload so only its *content* is invalid."""
+    with open(path, "wb") as handle:
+        handle.write(frame_blob(pickle.dumps(payload)))
 
 
 class TestRoundTrip:
@@ -169,11 +181,9 @@ class TestInvalidation:
         store = ArtifactStore(tmp_path)
         result = warm_select(lower(app.output), store, backend="interpret")
         path = store.path_for(result.key.digest)
-        with open(path, "rb") as handle:
-            artifact = pickle.load(handle)
+        artifact = _read_payload(path)
         artifact.format_version = ARTIFACT_FORMAT_VERSION + 1
-        with open(path, "wb") as handle:
-            pickle.dump(artifact, handle)
+        _write_payload(path, artifact)
         fresh = ArtifactStore(tmp_path)
         assert fresh.get(result.key) is None
         assert fresh.stats.stale == 1
@@ -199,11 +209,9 @@ class TestInvalidation:
         store = ArtifactStore(tmp_path)
         result = warm_select(lower(app.output), store, backend="interpret")
         path = store.path_for(result.key.digest)
-        with open(path, "rb") as handle:
-            artifact = pickle.load(handle)
+        artifact = _read_payload(path)
         artifact.store_rows[0]["mapped"] = False
-        with open(path, "wb") as handle:
-            pickle.dump(artifact, handle)
+        _write_payload(path, artifact)
         fresh = ArtifactStore(tmp_path)
         with pytest.raises(SelectionError):
             warm_select(
@@ -220,12 +228,10 @@ class TestInvalidation:
         store = ArtifactStore(tmp_path)
         result = warm_select(lower(app.output), store, backend="compile")
         path = store.path_for(result.key.digest)
-        with open(path, "rb") as handle:
-            artifact = pickle.load(handle)
+        artifact = _read_payload(path)
         assert artifact.kernel is not None
         artifact.kernel["format"] = KERNEL_FORMAT_VERSION + 1
-        with open(path, "wb") as handle:
-            pickle.dump(artifact, handle)
+        _write_payload(path, artifact)
 
         fresh = ArtifactStore(tmp_path)
         result = warm_select(lower(small_app().output), fresh, backend="compile")
@@ -358,12 +364,10 @@ class TestBatchedKernelPersistence:
         requests = build_requests(app, 3, np.random.default_rng(11))
         cold = pipe.run_many(requests, batch_axis=True)
         [path] = _bkernel_files(tmp_path)
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        payload = _read_payload(path)
         assert payload["format"] == KERNEL_FORMAT_VERSION
         payload["format"] = KERNEL_FORMAT_VERSION + 1
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle)
+        _write_payload(path, payload)
 
         fresh_store = ArtifactStore(tmp_path)
         _, fresh_pipe = self._compiled(fresh_store)
@@ -385,11 +389,9 @@ class TestBatchedKernelPersistence:
         requests = build_requests(app, 2, np.random.default_rng(3))
         pipe.run_many(requests, batch_axis=True)
         [path] = _bkernel_files(tmp_path)
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        payload = _read_payload(path)
         payload["key"] = payload["key"] + "-moved"
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle)
+        _write_payload(path, payload)
         store = ArtifactStore(tmp_path)
         _, fresh_pipe = self._compiled(store)
         fresh_pipe.run_many(requests, batch_axis=True)
@@ -416,7 +418,7 @@ class TestConcurrency:
         assert len(digests) == 2  # one artifact per distinct key
         for digest in digests:
             with open(store.path_for(digest), "rb") as handle:
-                artifact = pickle.load(handle)
+                artifact = pickle.loads(unframe_blob(handle.read()))
             assert isinstance(artifact, CompileArtifact)
             assert artifact.key_digest == digest
         leftovers = [

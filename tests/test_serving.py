@@ -425,6 +425,55 @@ class TestServer:
         with pytest.raises(RuntimeError, match="closed"):
             server.submit({})
 
+    def test_submit_after_close_raises_typed_error(self):
+        from repro.service import ServerClosed
+
+        _, f = build_pipeline()
+        server = Server(CompiledPipeline(lower(f), backend="compile"))
+        server.close()
+        with pytest.raises(ServerClosed):
+            server.submit({})
+        with pytest.raises(ServerClosed):
+            server.run_many([{}])
+        assert issubclass(ServerClosed, RuntimeError)  # old callers hold
+
+    def test_close_racing_submit_never_drops_work(self):
+        """Hammer submit from threads while the server closes: every
+        accepted future resolves; every refusal is a typed
+        ServerClosed — nothing hangs, nothing vanishes."""
+        from repro.service import ServerClosed
+
+        inp, f = build_pipeline()
+        pipe = compile_pipeline(f, backend="compile")
+        request = {inp.name: make_input()}
+        expected = pipe.run(request)
+        server = Server(pipe, workers=2)
+        accepted, refused, wrong = [], [], []
+        start = threading.Barrier(5)
+
+        def submitter():
+            start.wait()
+            for _ in range(50):
+                try:
+                    accepted.append(server.submit(request))
+                except ServerClosed:
+                    refused.append(1)
+                except Exception as exc:  # pragma: no cover
+                    wrong.append(exc)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        server.close()
+        for thread in threads:
+            thread.join()
+        assert wrong == []
+        for future in accepted:
+            np.testing.assert_array_equal(future.result(1.0), expected)
+        assert len(accepted) + len(refused) == 200
+        assert server.stats()["requests"] == len(accepted)
+
     def test_zero_workers_rejected(self):
         _, f = build_pipeline()
         with pytest.raises(ValueError, match="workers"):

@@ -1,0 +1,232 @@
+"""Supervised multi-process serving: crash/hang recovery, retry
+budgets, at-most-once semantics, warm restarts, and pool lifecycle —
+all driven by the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.service import CompileJob, compile_one
+from repro.service.faults import KILL_EXIT_CODE, FaultPlan, FaultSpec
+from repro.service.serve import RejectedError, ServerClosed
+from repro.service.supervisor import (
+    DeadlineExceeded,
+    RemoteError,
+    WorkerCrashed,
+    WorkerPool,
+)
+
+pytestmark = pytest.mark.faults
+
+#: the cuda variant skips equality saturation, so workers start fast
+JOB = CompileJob.make("conv1d", "cuda", taps=8, rows=1)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The job's request dict and its unfaulted single-process output."""
+    app = JOB.build_app()
+    app.backend = "compile"
+    request = {param.name: array for param, array in app.inputs.items()}
+    expected = app.compile().run(request)
+    return request, expected
+
+
+class TestServing:
+    def test_bit_identical_across_workers(self, reference):
+        request, expected = reference
+        with WorkerPool(JOB, workers=2) as pool:
+            outputs = pool.run_many([request] * 6)
+            assert all(np.array_equal(o, expected) for o in outputs)
+            stats = pool.stats()
+            assert stats["completed"] == 6
+            assert stats["crashes"] == 0 and stats["restarts"] == 0
+
+    def test_warm_start_from_artifact_store(self, tmp_path, reference):
+        # tensor-variant job: workers re-hydrate saturation + kernel
+        # artifacts from the shared store instead of recompiling
+        job = CompileJob.make("conv1d", taps=8, rows=1)
+        result = compile_one(job, str(tmp_path), "host")
+        assert result.ok, result.error
+        app = job.build_app()
+        app.backend = "compile"
+        request = {p.name: a for p, a in app.inputs.items()}
+        expected = app.compile(cache_dir=str(tmp_path)).run(request)
+        with WorkerPool(job, workers=1, cache_dir=str(tmp_path)) as pool:
+            assert np.array_equal(pool.run(request), expected)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_restarts_and_output_is_identical(
+        self, reference
+    ):
+        """The acceptance scenario: kill a worker mid-batch, assert the
+        served results are bit-identical to the unfaulted run and the
+        recovery shows up in stats()."""
+        request, expected = reference
+        plan = FaultPlan(
+            seed=3,
+            specs=[
+                FaultSpec(
+                    "kill-worker",
+                    visits=(0,),
+                    scope={"incarnation": 0},
+                )
+            ],
+        )
+        with WorkerPool(
+            JOB, workers=2, fault_plan=plan, retries=3
+        ) as pool:
+            outputs = pool.run_many([request] * 4)
+            assert all(np.array_equal(o, expected) for o in outputs)
+            stats = pool.stats()
+            assert stats["crashes"] >= 1
+            assert stats["restarts"] >= 1
+            assert stats["retries"] >= 1
+            assert stats["failed"] == 0
+            # the replacement workers carry bumped incarnations
+            assert any(
+                worker["incarnation"] > 0 for worker in stats["workers"]
+            )
+
+    def test_hung_worker_killed_at_deadline(self, reference):
+        request, expected = reference
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    "hang-kernel",
+                    visits=(0,),
+                    seconds=30.0,
+                    scope={"incarnation": 0},
+                )
+            ]
+        )
+        with WorkerPool(
+            JOB, workers=1, fault_plan=plan, retries=2, deadline=0.8
+        ) as pool:
+            outputs = pool.run_many([request] * 2)
+            assert all(np.array_equal(o, expected) for o in outputs)
+            stats = pool.stats()
+            assert stats["deadline_kills"] >= 1
+            assert stats["restarts"] >= 1
+
+    def test_remote_error_is_retried_in_place(self, reference):
+        request, expected = reference
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    "raise-in-kernel",
+                    visits=(0, 1),
+                    scope={"incarnation": 0},
+                )
+            ]
+        )
+        with WorkerPool(
+            JOB, workers=1, fault_plan=plan, retries=3
+        ) as pool:
+            outputs = pool.run_many([request] * 3)
+            assert all(np.array_equal(o, expected) for o in outputs)
+            stats = pool.stats()
+            # the worker survived: retries happened, no restarts
+            assert stats["retries"] >= 1
+            assert stats["crashes"] == 0 and stats["restarts"] == 0
+
+    def test_retry_budget_exhausts_into_typed_error(self, reference):
+        request, _ = reference
+        # every incarnation fails every kernel call: unrecoverable
+        plan = FaultPlan(
+            specs=[FaultSpec("raise-in-kernel", rate=1.0)]
+        )
+        with WorkerPool(
+            JOB, workers=1, fault_plan=plan, retries=1
+        ) as pool:
+            with pytest.raises(RemoteError) as excinfo:
+                pool.run(request)
+            assert excinfo.value.kind == "InjectedKernelError"
+            assert "InjectedKernelError" in excinfo.value.remote_traceback
+            stats = pool.stats()
+            assert stats["failed"] == 1
+            assert stats["retries"] == 1  # budget spent, then surfaced
+
+    def test_at_most_once_is_never_redispatched(self, reference):
+        request, _ = reference
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    "kill-worker",
+                    visits=(0,),
+                    scope={"incarnation": 0},
+                )
+            ]
+        )
+        with WorkerPool(
+            JOB, workers=1, fault_plan=plan, retries=3
+        ) as pool:
+            future = pool.submit(request, idempotent=False)
+            with pytest.raises(WorkerCrashed) as excinfo:
+                future.result(timeout=60)
+            assert excinfo.value.exit_code == KILL_EXIT_CODE
+            stats = pool.stats()
+            assert stats["retries"] == 0  # at-most-once held
+            assert stats["failed"] == 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_rejects_new_work(self, reference):
+        request, expected = reference
+        pool = WorkerPool(JOB, workers=1)
+        assert np.array_equal(pool.run(request), expected)
+        pool.close()
+        pool.close()
+        with pytest.raises(ServerClosed, match="closed"):
+            pool.submit(request)
+        assert pool.stats()["closed"] is True
+
+    def test_close_drains_in_flight_requests(self, reference):
+        request, expected = reference
+        pool = WorkerPool(JOB, workers=2)
+        futures = [pool.submit(request) for _ in range(6)]
+        pool.close()
+        # nothing silently dropped: every accepted request completed
+        assert all(
+            np.array_equal(f.result(timeout=1), expected)
+            for f in futures
+        )
+
+    def test_admission_rejects_when_full(self, reference):
+        request, expected = reference
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    "hang-kernel",
+                    visits=(0,),
+                    seconds=0.5,
+                    scope={"incarnation": 0},
+                )
+            ]
+        )
+        with WorkerPool(
+            JOB, workers=1, fault_plan=plan, max_pending=1
+        ) as pool:
+            first = pool.submit(request)  # hangs ~0.5s in the worker
+            rejected = False
+            for _ in range(200):
+                if first.done():
+                    break
+                try:
+                    pool.submit(request)
+                except RejectedError:
+                    rejected = True
+                    break
+            assert np.array_equal(first.result(timeout=60), expected)
+            assert rejected
+            assert pool.stats()["rejected"] >= 1
+
+    def test_failed_init_eventually_fails_requests(self):
+        bad_job = CompileJob.make("conv1d", "no-such-variant", taps=8, rows=1)
+        with WorkerPool(bad_job, workers=1, max_restarts=4) as pool:
+            future = pool.submit({})
+            with pytest.raises((WorkerCrashed, Exception)):
+                future.result(timeout=120)
+            stats = pool.stats()
+            assert stats["failed"] == 1
+            assert stats["workers"] == []  # struck out, not respawned

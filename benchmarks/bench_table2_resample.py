@@ -9,9 +9,7 @@ import numpy as np
 import pytest
 
 from repro.apps import resample
-from repro.linalg import build_resample_matrix
 from repro.perfmodel import PerfModel, format_table
-from repro.runtime import Counters
 from repro.targets.device import RTX4070S
 
 from .harness import print_header

@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 
 from repro.perfmodel import PerfModel, TimeBreakdown, format_table
-from repro.targets.device import A100, RTX4070S
+from repro.targets.device import RTX4070S
 
 
 def measure(app, device) -> TimeBreakdown:

@@ -11,7 +11,6 @@ import time
 import numpy as np
 
 from repro.apps import resample
-from repro.linalg import build_resample_matrix
 from repro.runtime import Counters
 
 

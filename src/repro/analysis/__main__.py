@@ -1,0 +1,92 @@
+"""CLI: ``python -m repro.analysis [--all | sections...]``.
+
+Sections:
+
+* ``rules`` — soundness lint over every registered rewrite family
+* ``concurrency`` — guarded-by discipline in the serving/runtime modules
+* ``ir`` / ``kernels`` — compile the analysis app set and verify the
+  lowered + tensorized IR and the emitted (scalar and batched) kernels
+
+``--all`` (also the default with no sections) runs everything.
+``--fig6`` widens the app set from the quick pair to the full fig-6
+suite.  Exit status is 1 when any error-severity finding survives,
+0 otherwise (warnings never fail the gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from .findings import Finding, errors, format_findings, warnings
+from .lint_concurrency import lint_concurrency
+from .lint_rules import lint_rules
+from .sweep import FIG6_APPS, QUICK_APPS, sweep
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static verification over the compile/serve stack",
+    )
+    parser.add_argument(
+        "sections",
+        nargs="*",
+        metavar="section",
+        help="rules | concurrency | ir | kernels (default: all)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every analyzer"
+    )
+    parser.add_argument(
+        "--fig6",
+        action="store_true",
+        help="verify the full fig-6 app suite (slower) instead of the"
+        " quick pair",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    valid = {"rules", "concurrency", "ir", "kernels"}
+    sections = set(args.sections)
+    unknown = sections - valid
+    if unknown:
+        parser.error(f"unknown section(s) {sorted(unknown)}")
+    if args.all or not sections:
+        sections = {"rules", "concurrency", "ir", "kernels"}
+
+    findings: List[Finding] = []
+    if "rules" in sections:
+        findings.extend(lint_rules())
+    if "concurrency" in sections:
+        findings.extend(lint_concurrency())
+    if sections & {"ir", "kernels"}:
+        # one sweep covers both: verify_ir on the lowered/tensorized
+        # statements and the kernel lint on their emitted source
+        apps = FIG6_APPS if args.fig6 else QUICK_APPS
+        findings.extend(sweep(apps))
+
+    if args.json:
+        print(
+            json.dumps(
+                [f.__dict__ for f in findings], indent=2, sort_keys=True
+            )
+        )
+    elif findings:
+        print(format_findings(findings))
+
+    n_errors = len(errors(findings))
+    n_warnings = len(warnings(findings))
+    print(
+        f"repro.analysis: {len(sections)} section(s),"
+        f" {n_errors} error(s), {n_warnings} warning(s)"
+    )
+    return 1 if n_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Structured diagnostics shared by every analyzer.
+
+A :class:`Finding` is one defect report: which check fired, how bad it
+is, where it points (``site``), what is wrong (``message``), and — when
+the analyzer knows one — how to fix it (``hint``).  Analyzers return
+plain lists of findings; gates raise :class:`AnalysisError` when any
+error-severity finding survives.
+
+Waivers
+-------
+
+A finding anchored to a source line can be waived in place::
+
+    self.hits += 1  # analysis: ignore[guarded-by]
+
+The bracket names one or more check ids (comma separated), matched
+against the full id (``concurrency.guarded-by``) or its suffix
+(``guarded-by``); ``ignore[all]`` waives every check on that line.
+Waivers are deliberate documentation — the lint counts them separately
+so a waived tree is still distinguishable from a clean one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITIES = (ERROR, WARNING)
+
+_IGNORE_RE = re.compile(r"#\s*analysis:\s*ignore\[([\w.,\-\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by a static analyzer."""
+
+    #: dotted check id, ``<analyzer>.<check>`` (e.g. ``ir.use-before-def``)
+    check: str
+    #: ``"error"`` (gate-failing) or ``"warning"`` (advisory)
+    severity: str
+    #: where: a statement path, ``file.py:line``, or a rule/kernel name
+    site: str
+    #: what is wrong
+    message: str
+    #: how to fix it, when the analyzer knows
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {_SEVERITIES}, got"
+                f" {self.severity!r}"
+            )
+
+    def __str__(self) -> str:
+        text = f"{self.severity}[{self.check}] {self.site}: {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+
+def errors(findings: Iterable[Finding]) -> List[Finding]:
+    """The error-severity subset, in order."""
+    return [f for f in findings if f.severity == ERROR]
+
+
+def warnings(findings: Iterable[Finding]) -> List[Finding]:
+    """The warning-severity subset, in order."""
+    return [f for f in findings if f.severity == WARNING]
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """One finding per line, errors first."""
+    ordered = errors(findings) + warnings(findings)
+    return "\n".join(str(f) for f in ordered)
+
+
+class AnalysisError(RuntimeError):
+    """A verification gate failed: error-severity findings survived."""
+
+    def __init__(self, context: str, findings: Sequence[Finding]) -> None:
+        self.findings = list(findings)
+        failing = errors(self.findings)
+        lines = "\n".join(f"  {f}" for f in failing)
+        super().__init__(
+            f"{context}: {len(failing)} verification error(s)\n{lines}"
+        )
+
+
+def raise_on_errors(
+    context: str, findings: Sequence[Finding]
+) -> List[Finding]:
+    """Gate helper: raise :class:`AnalysisError` if any error survived."""
+    if errors(findings):
+        raise AnalysisError(context, findings)
+    return list(findings)
+
+
+# -- waivers -------------------------------------------------------------------
+
+
+@dataclass
+class Waivers:
+    """Per-line ``# analysis: ignore[...]`` markers for one source file."""
+
+    #: line number (1-based) -> waived check names from that line's marker
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def waived(self, line: int, check: str) -> bool:
+        names = self.by_line.get(line)
+        if not names:
+            return False
+        if "all" in names:
+            return True
+        return any(
+            check == name or check.endswith("." + name) for name in names
+        )
+
+
+def parse_waivers(source: str) -> Waivers:
+    """Collect waiver markers from a module's source text."""
+    waivers = Waivers()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if match:
+            names = {n.strip() for n in match.group(1).split(",")}
+            waivers.by_line[lineno] = {n for n in names if n}
+    return waivers
+
+
+def apply_waivers(
+    findings: Iterable[Finding], waivers: Waivers, line_of
+) -> List[Finding]:
+    """Drop findings whose anchor line carries a matching waiver.
+
+    ``line_of`` maps a finding to its 1-based source line (or ``None``
+    for findings with no line anchor, which are never waived).
+    """
+    kept: List[Finding] = []
+    for finding in findings:
+        line = line_of(finding)
+        if line is not None and waivers.waived(line, finding.check):
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,240 @@
+"""Guarded-by discipline checking for the lock-heavy runtime modules.
+
+Fields annotated with a ``# guarded-by: <lock>`` comment — on the
+assignment line or the line directly above, in ``__init__`` or as a
+dataclass field — must only be touched inside a matching ``with
+self.<lock>:`` block::
+
+    self.hits = 0          # guarded-by: _lock
+    ...
+    with self._lock:
+        self.hits += 1     # ok
+    self.hits += 1         # concurrency.guarded-by finding
+
+Conventions honored:
+
+* methods whose name ends in ``_locked`` assume their caller already
+  holds the lock (the :class:`~repro.service.supervisor.WorkerPool`
+  idiom) and are not checked;
+* ``__init__``/``__post_init__`` are construction — the object is not
+  yet published to other threads, so unguarded writes there are fine;
+* a deliberate unguarded access is waived in place with
+  ``# analysis: ignore[guarded-by]`` (counted, not silently dropped).
+
+Checks:
+
+``concurrency.guarded-by``
+    A guarded field read or written outside its lock.
+``concurrency.unknown-lock``
+    A ``guarded-by`` annotation naming a lock the class never assigns.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import ERROR, WARNING, Finding, parse_waivers
+
+__all__ = ["lint_source", "lint_file", "lint_concurrency", "DEFAULT_MODULES"]
+
+_GUARD_RE = re.compile(r"#\s*guarded-by:\s*(\w+)")
+
+_PKG_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: the modules whose locking discipline the repo commits to
+DEFAULT_MODULES = (
+    os.path.join(_PKG_ROOT, "service", "serve.py"),
+    os.path.join(_PKG_ROOT, "service", "supervisor.py"),
+    os.path.join(_PKG_ROOT, "service", "faults.py"),
+    os.path.join(_PKG_ROOT, "runtime", "kernel_cache.py"),
+    os.path.join(_PKG_ROOT, "runtime", "executor.py"),
+)
+
+_CONSTRUCTORS = {"__init__", "__post_init__"}
+
+
+def _guard_comments(source: str) -> Dict[int, "Tuple[str, bool]"]:
+    """line number (1-based) -> (lock name, comment stands alone).
+
+    An inline comment annotates the assignment on its own line only; a
+    standalone comment line annotates the assignment directly below.
+    """
+    out: Dict[int, Tuple[str, bool]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _GUARD_RE.search(line)
+        if match:
+            out[lineno] = (match.group(1), line.lstrip().startswith("#"))
+    return out
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ClassLint:
+    def __init__(
+        self,
+        cls: ast.ClassDef,
+        comments: Dict[int, str],
+        filename: str,
+    ) -> None:
+        self.cls = cls
+        self.comments = comments
+        self.filename = filename
+        self.guards: Dict[str, str] = {}  # field -> lock
+        self.guard_lines: Dict[str, int] = {}
+        self.assigned: Set[str] = set()
+        self.findings: List[Finding] = []
+
+    def _guard_for_line(self, lineno: int) -> Optional[str]:
+        entry = self.comments.get(lineno)
+        if entry is not None:
+            return entry[0]
+        above = self.comments.get(lineno - 1)
+        if above is not None and above[1]:
+            return above[0]
+        return None
+
+    def collect(self) -> None:
+        for node in self.cls.body:
+            # dataclass-style class-level field: ``x: int = 0  # guarded-by``
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                self.assigned.add(node.target.id)
+                lock = self._guard_for_line(node.lineno)
+                if lock:
+                    self.guards[node.target.id] = lock
+                    self.guard_lines[node.target.id] = node.lineno
+        for node in ast.walk(self.cls):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                self.assigned.add(attr)
+                lock = self._guard_for_line(target.lineno)
+                if lock:
+                    self.guards.setdefault(attr, lock)
+                    self.guard_lines.setdefault(attr, target.lineno)
+
+    def check(self) -> List[Finding]:
+        self.collect()
+        if not self.guards:
+            return self.findings
+        for field, lock in sorted(self.guards.items()):
+            if lock not in self.assigned:
+                self.findings.append(
+                    Finding(
+                        "concurrency.unknown-lock",
+                        WARNING,
+                        f"{self.filename}:{self.guard_lines[field]}",
+                        f"{self.cls.name}.{field} is guarded-by"
+                        f" {lock!r}, but the class never assigns"
+                        f" self.{lock}",
+                        "fix the annotation or create the lock in"
+                        " __init__",
+                    )
+                )
+        for node in self.cls.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if node.name in _CONSTRUCTORS:
+                    continue
+                if node.name.endswith("_locked"):
+                    continue  # caller-holds-lock convention
+                self._check_scope(node, node.name, frozenset())
+        return self.findings
+
+    def _check_scope(
+        self, node: ast.AST, method: str, held: frozenset
+    ) -> None:
+        if isinstance(node, ast.With):
+            acquired = set()
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None:
+                    acquired.add(attr)
+            inner = held | frozenset(acquired)
+            for item in node.items:
+                self._check_scope(item.context_expr, method, held)
+            for child in node.body:
+                self._check_scope(child, method, inner)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None:
+                lock = self.guards.get(attr)
+                if lock is not None and lock not in held:
+                    self.findings.append(
+                        Finding(
+                            "concurrency.guarded-by",
+                            ERROR,
+                            f"{self.filename}:{node.lineno}",
+                            f"{self.cls.name}.{method} accesses"
+                            f" self.{attr} (guarded-by {lock})"
+                            f" without holding self.{lock}",
+                            f"wrap the access in 'with self.{lock}:' or"
+                            " waive it with"
+                            " '# analysis: ignore[guarded-by]'",
+                        )
+                    )
+        for child in ast.iter_child_nodes(node):
+            self._check_scope(child, method, held)
+
+
+def lint_source(
+    source: str, filename: str = "<module>"
+) -> List[Finding]:
+    """Lint one module's source text for guarded-by violations."""
+    comments = _guard_comments(source)
+    waivers = parse_waivers(source)
+    tree = ast.parse(source)
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(
+                _ClassLint(node, comments, filename).check()
+            )
+
+    def line_of(finding: Finding) -> Optional[int]:
+        _, _, tail = finding.site.rpartition(":")
+        return int(tail) if tail.isdigit() else None
+
+    kept = []
+    for finding in findings:
+        line = line_of(finding)
+        if line is not None and waivers.waived(line, finding.check):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, filename=os.path.basename(path))
+
+
+def lint_concurrency(
+    paths: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint the locking discipline of the serving/runtime modules."""
+    findings: List[Finding] = []
+    for path in paths or DEFAULT_MODULES:
+        findings.extend(lint_file(path))
+    return findings

@@ -14,7 +14,7 @@ into the ``has-lanes`` relation — the base facts the supporting
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..eqsat import EGraph, I, F, Sym, T, Term
 from ..ir import (

@@ -10,7 +10,6 @@ application order cannot cause a phase-ordering problem.
 from __future__ import annotations
 
 from ..eqsat import parse_program
-from .rules_supporting import SUPPORTING_PROGRAM
 
 AXIOMATIC_PROGRAM = """
 (relation has-lanes (Expr i64))

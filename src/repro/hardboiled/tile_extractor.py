@@ -469,20 +469,46 @@ def fuse_gpu_lane_loops(stmt: Stmt) -> Stmt:
 
 
 def select_instructions(
-    lowered: Lowered, iterations: int = 14, strict: bool = False
+    lowered: Lowered,
+    iterations: int = 14,
+    strict: bool = False,
+    verify: bool = False,
 ) -> Tuple[Lowered, SelectionReport]:
     """Run HARDBOILED over a lowered pipeline.
 
     Returns a new :class:`Lowered` whose statement uses tensor intrinsics
     wherever the schedule requested accelerator storage, plus a report of
     which stores mapped (and how long EqSat took).
+
+    ``verify=True`` gates the extracted statement through the static IR
+    verifier (:func:`repro.analysis.check_ir`, ``phase="tensorized"``):
+    an unsound extraction — illegal accumulator access, broken scoping,
+    out-of-bounds addressing introduced by a rewrite — raises
+    :class:`repro.analysis.AnalysisError` instead of miscomputing.
     """
     extractor = TileExtractor(lowered, iterations=iterations, strict=strict)
     stmt, report = extractor.run()
     import dataclasses
+    import time as _time
 
     new_lowered = dataclasses.replace(lowered, stmt=stmt)
     new_lowered.pass_seconds = dict(lowered.pass_seconds)
     new_lowered.pass_seconds["hardboiled_eqsat"] = report.eqsat_seconds
     new_lowered.pass_seconds["hardboiled_total"] = report.total_seconds
+    if verify:
+        from ..analysis import check_ir
+
+        start = _time.perf_counter()
+        check_ir(
+            stmt,
+            lowered.realizations,
+            phase="tensorized",
+            context=lowered.output.name,
+            unmapped={
+                row["name"]
+                for row in report.store_rows()
+                if not row["mapped"]
+            },
+        )
+        new_lowered.pass_seconds["verify"] = _time.perf_counter() - start
     return new_lowered, report

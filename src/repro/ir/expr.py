@@ -19,7 +19,7 @@ hashconses separately).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 from .types import BOOL, DataType, Float, Int, TypeCode, promote
 

@@ -31,8 +31,15 @@ def lower(
     *,
     vectorize: bool = True,
     simplify: bool = True,
+    verify: bool = False,
 ) -> Lowered:
-    """Lower a scheduled Func to vectorized, simplified IR."""
+    """Lower a scheduled Func to vectorized, simplified IR.
+
+    ``verify=True`` gates the result through the static IR verifier
+    (:func:`repro.analysis.check_ir`): use-before-def, bounds, scope,
+    and type defects raise :class:`repro.analysis.AnalysisError`
+    instead of surfacing as wrong answers at run time.
+    """
     timings: Dict[str, float] = {}
     start = time.perf_counter()
     lowerer = Lowerer(output)
@@ -52,6 +59,17 @@ def lower(
         start = time.perf_counter()
         stmt = simplify_stmt(stmt)
         timings["simplify"] = time.perf_counter() - start
+    if verify:
+        from ..analysis import check_ir
+
+        start = time.perf_counter()
+        check_ir(
+            stmt,
+            lowerer.realizations,
+            phase="lowered",
+            context=output.name,
+        )
+        timings["verify"] = time.perf_counter() - start
     return Lowered(
         stmt, lowerer.realizations, output, lowerer.atomic_vars, timings
     )

@@ -17,7 +17,6 @@ where crossovers fall) comes from the counters alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..runtime.counters import Counters
 from ..targets.device import DeviceSpec

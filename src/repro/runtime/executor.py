@@ -107,7 +107,10 @@ class CompiledPipeline:
         self._cache_key: Optional[str] = None
         #: batch-axis kernels per shared/stacked split; None records
         #: "no batched kernel exists" so failed splits are not retried
+        # guarded-by: _batched_lock
         self._batched: Dict[FrozenSet[str], Optional[object]] = {}
+        self._batched_lock = threading.Lock()
+        # guarded-by: _batch_lock
         self._batched_plan: Optional[BatchedExecutionPlan] = None
         self._batch_lock = threading.Lock()
         #: optional ArtifactStore persisting batched kernels across
@@ -180,8 +183,9 @@ class CompiledPipeline:
         from .codegen import CodegenError, compile_batched_stmt
 
         stacked = frozenset(stacked)
-        if stacked in self._batched:
-            return self._batched[stacked]
+        with self._batched_lock:
+            if stacked in self._batched:
+                return self._batched[stacked]
         key = batched_key(self.cache_key, stacked)
 
         def build():
@@ -200,7 +204,11 @@ class CompiledPipeline:
             kernel = self.kernel_cache.get_or_build(key, build)
         except CodegenError:
             kernel = None
-        self._batched[stacked] = kernel
+        # the build runs outside the lock (it can take seconds); two
+        # racing builders store the same cache-memoized kernel, so the
+        # last write is harmless
+        with self._batched_lock:
+            self._batched[stacked] = kernel
         return kernel
 
     def _run_batched(self, requests: List[InputMap]) -> List[np.ndarray]:

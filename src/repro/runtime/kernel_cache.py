@@ -161,11 +161,12 @@ class KernelCache:
     ) -> None:
         self.maxsize = maxsize
         self.disk_dir = disk_dir
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
         #: in-memory misses satisfied by the disk tier (a fresh process
         #: skipping codegen); disk hits are not counted as misses
-        self.disk_hits = 0
+        self.disk_hits = 0  # guarded-by: _lock
+        # guarded-by: _lock
         self._kernels: "OrderedDict[str, CompiledKernel]" = OrderedDict()
         self._lock = threading.RLock()
 

@@ -77,6 +77,7 @@ def warm_select(
     device: object = "host",
     iterations: int = 14,
     strict: bool = True,
+    verify: bool = True,
 ) -> WarmCompileResult:
     """Instruction selection through the artifact store.
 
@@ -86,6 +87,14 @@ def warm_select(
     :func:`repro.hardboiled.select_instructions` — a restored artifact
     whose recorded selection left stores unmapped raises
     :class:`SelectionError` just as the live compiler would.
+
+    ``verify`` (default **on**) runs the static IR verifier
+    (:mod:`repro.analysis`) over the restored tensorized statement.  A
+    stale or corrupt artifact — one whose statement no longer passes
+    well-formedness — is demoted to a miss and recompiled cold instead
+    of being handed to the user's kernel; verification costs
+    milliseconds against a multi-second cold compile (asserted by
+    ``tests/test_analysis.py``).
     """
     backend = _check_backend(backend)
     key = ArtifactKey.for_lowered(
@@ -106,6 +115,26 @@ def warm_select(
             kernel = None
     else:
         kernel = None
+    if artifact is not None and verify:
+        from ..analysis import errors, verify_ir
+
+        findings = verify_ir(
+            artifact.stmt,
+            lowered.realizations,
+            phase="tensorized",
+            context=f"artifact:{key.digest[:12]}",
+            unmapped={
+                row["name"]
+                for row in artifact.store_rows
+                if not row.get("mapped")
+            },
+        )
+        if errors(findings):
+            # the restored statement fails static verification — same
+            # treatment as a torn payload: demote and recompile cold
+            store.demote_hit(key)
+            artifact = None
+            kernel = None
     if artifact is not None:
         restore_seconds = time.perf_counter() - start
         tensorized = dataclasses.replace(lowered, stmt=artifact.stmt)
@@ -123,7 +152,7 @@ def warm_select(
 
     # -- miss: run the real compiler, then persist its output ----------------
     tensorized, report = select_instructions(
-        lowered, iterations=iterations, strict=strict
+        lowered, iterations=iterations, strict=strict, verify=verify
     )
     kernel = None
     kernel_payload = None
@@ -158,6 +187,7 @@ def compile_lowered(
     device: object = "host",
     iterations: int = 14,
     strict: bool = True,
+    verify: bool = True,
     kernel_cache: Optional[KernelCache] = None,
 ) -> Tuple[CompiledPipeline, SelectionReport]:
     """Warm-start a lowered pipeline into a ready :class:`CompiledPipeline`.
@@ -165,6 +195,8 @@ def compile_lowered(
     The returned pipeline's kernel cache is pre-seeded with the restored
     (or just-compiled) kernel, so its first ``run`` on the compiled
     backend executes immediately — no saturation, no codegen.
+    ``verify`` gates restored artifacts through the static IR verifier
+    (see :func:`warm_select`).
     """
     result = warm_select(
         lowered,
@@ -173,6 +205,7 @@ def compile_lowered(
         device=device,
         iterations=iterations,
         strict=strict,
+        verify=verify,
     )
     pipeline = CompiledPipeline(
         result.lowered, backend=backend, kernel_cache=kernel_cache
@@ -194,12 +227,14 @@ def warm_compile(
     device: object = "host",
     iterations: int = 14,
     strict: bool = True,
+    verify: bool = True,
 ) -> Tuple[CompiledPipeline, SelectionReport]:
     """:func:`compile_lowered` with the store opened from a directory.
 
     The single entry point every ``cache_dir=`` parameter in the
     codebase routes through (``App.compile``, ``compile_tensorized``,
-    the self-compiling apps), so warm-path defaults live in one place.
+    the self-compiling apps), so warm-path defaults live in one place —
+    including the default-on static verification of restored artifacts.
     """
     return compile_lowered(
         lowered,
@@ -208,4 +243,5 @@ def warm_compile(
         device=device,
         iterations=iterations,
         strict=strict,
+        verify=verify,
     )

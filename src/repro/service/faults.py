@@ -166,11 +166,16 @@ class FaultPlan:
         self._reset_state()
 
     def _reset_state(self) -> None:
+        # construction / unpickle time: the plan is not yet visible to
+        # other threads, so the guarded fields may be seeded unlocked
         self._lock = threading.Lock()
-        self._visits = [0] * len(self.specs)
-        self._fires = [0] * len(self.specs)
+        # guarded-by: _lock
+        self._visits = [0] * len(self.specs)  # analysis: ignore[guarded-by]
+        # guarded-by: _lock
+        self._fires = [0] * len(self.specs)  # analysis: ignore[guarded-by]
         #: every fault that fired: (site, mode, visit index)
-        self.log: List[Tuple[str, str, int]] = []
+        # guarded-by: _lock
+        self.log: List[Tuple[str, str, int]] = []  # analysis: ignore[guarded-by]
 
     def __getstate__(self):
         return {"seed": self.seed, "specs": self.specs}
@@ -181,9 +186,11 @@ class FaultPlan:
         self._reset_state()
 
     def __repr__(self) -> str:
+        with self._lock:
+            fired = sum(self._fires)
         return (
             f"FaultPlan(seed={self.seed}, specs={len(self.specs)},"
-            f" fired={sum(self._fires)})"
+            f" fired={fired})"
         )
 
     # -- firing decision -----------------------------------------------------
@@ -356,10 +363,10 @@ class CircuitBreaker:
 
     threshold: int = 3
     name: str = ""
-    consecutive_failures: int = 0
-    total_failures: int = 0
-    trips: int = 0
-    open: bool = False
+    consecutive_failures: int = 0  # guarded-by: _lock
+    total_failures: int = 0  # guarded-by: _lock
+    trips: int = 0  # guarded-by: _lock
+    open: bool = False  # guarded-by: _lock
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )

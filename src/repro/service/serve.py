@@ -161,17 +161,18 @@ class Server:
         #: against close(); never held while blocking on admission or
         #: while draining, so submitters cannot deadlock a closer.
         self._lifecycle = threading.Lock()
-        self._plans: List[ExecutionPlan] = []
-        self._closed = False
+        self._plans: List[ExecutionPlan] = []  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lifecycle
         self.batch_axis = batch_axis
         self._batch_lock = threading.Lock()
+        # guarded-by: _batch_lock
         self._batched_plan: Optional[BatchedExecutionPlan] = None
-        self.requests_served = 0
-        self.batches_served = 0
-        self.batched_batches = 0
-        self.failures = 0
-        self.retries_performed = 0
-        self.rejected = 0
+        self.requests_served = 0  # guarded-by: _lock
+        self.batches_served = 0  # guarded-by: _lock
+        self.batched_batches = 0  # guarded-by: _lock
+        self.failures = 0  # guarded-by: _lock
+        self.retries_performed = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
         #: trips -> plans degrade from the compiled backend to the
         #: interpreter (same outputs; see the parity test suite)
         self.backend_breaker = CircuitBreaker(
@@ -182,22 +183,25 @@ class Server:
         self.batch_breaker = CircuitBreaker(
             threshold=breaker_threshold, name="batch-axis"
         )
-        self._degraded_backend: Optional[str] = None
+        self._degraded_backend: Optional[str] = None  # guarded-by: _lock
         #: bumped whenever the effective backend changes so worker
         #: threads drop their cached plan and rebuild on the new path
-        self._plan_generation = 0
+        self._plan_generation = 0  # guarded-by: _lock
 
     # -- worker-side ---------------------------------------------------------
 
     def _effective_backend(self) -> str:
-        return self._degraded_backend or self.backend
+        with self._lock:
+            return self._degraded_backend or self.backend
 
     def _plan(self) -> ExecutionPlan:
-        generation = self._plan_generation
+        with self._lock:
+            generation = self._plan_generation
+            backend = self._degraded_backend or self.backend
         entry = getattr(self._local, "plan_entry", None)
         if entry is not None and entry[0] == generation:
             return entry[1]
-        plan = self.pipeline.plan(backend=self._effective_backend())
+        plan = self.pipeline.plan(backend=backend)
         self._local.plan_entry = (generation, plan)
         with self._lock:
             self._plans.append(plan)
@@ -347,8 +351,9 @@ class Server:
             raise ValueError(
                 f"on_error must be 'raise' or 'return', got {on_error!r}"
             )
-        if self._closed:
-            raise ServerClosed()
+        with self._lifecycle:
+            if self._closed:
+                raise ServerClosed()
         requests = list(requests)
         if not requests:
             return []
@@ -469,7 +474,9 @@ class Server:
         self.close()
 
     def __repr__(self) -> str:
+        with self._lock:
+            served = self.requests_served
         return (
             f"Server({self.pipeline.output_name!r}, workers={self.workers},"
-            f" backend={self.backend!r}, requests={self.requests_served})"
+            f" backend={self.backend!r}, requests={served})"
         )

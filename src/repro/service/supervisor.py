@@ -40,7 +40,7 @@ import traceback
 from collections import deque
 from concurrent.futures import Future
 from multiprocessing.connection import wait as connection_wait
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -304,24 +304,25 @@ class WorkerPool:
             self._ctx = mp_context or multiprocessing.get_context()
 
         self._mu = threading.Lock()
-        self._queue: Deque[_Request] = deque()
-        self._workers: Dict[int, _Worker] = {}
-        self._closed = False
+        self._queue: Deque[_Request] = deque()  # guarded-by: _mu
+        self._workers: Dict[int, _Worker] = {}  # guarded-by: _mu
+        self._closed = False  # guarded-by: _mu
         self._drained = threading.Event()
         self._req_ids = itertools.count()
         self._wakeup_r, self._wakeup_w = self._ctx.Pipe(duplex=False)
 
-        self.restarts = 0
-        self.crashes = 0
-        self.deadline_kills = 0
-        self.heartbeat_kills = 0
-        self.retries_performed = 0
-        self.completed = 0
-        self.failed = 0
-        self.rejected = 0
+        self.restarts = 0  # guarded-by: _mu
+        self.crashes = 0  # guarded-by: _mu
+        self.deadline_kills = 0  # guarded-by: _mu
+        self.heartbeat_kills = 0  # guarded-by: _mu
+        self.retries_performed = 0  # guarded-by: _mu
+        self.completed = 0  # guarded-by: _mu
+        self.failed = 0  # guarded-by: _mu
+        self.rejected = 0  # guarded-by: _mu
 
+        # no supervisor thread exists yet, so these spawns race nothing
         for wid in range(int(workers)):
-            self._spawn(wid, 0, init_strikes=0)
+            self._spawn_locked(wid, 0, init_strikes=0)
         self._thread = threading.Thread(
             target=self._supervise, daemon=True, name="repro-supervisor"
         )
@@ -329,7 +330,9 @@ class WorkerPool:
 
     # -- lifecycle -------------------------------------------------------------
 
-    def _spawn(self, wid: int, incarnation: int, init_strikes: int) -> None:
+    def _spawn_locked(
+        self, wid: int, incarnation: int, init_strikes: int
+    ) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
@@ -547,7 +550,7 @@ class WorkerPool:
             and strikes < self._INIT_STRIKE_LIMIT
         ):
             self.restarts += 1
-            self._spawn(worker.id, worker.incarnation + 1, strikes)
+            self._spawn_locked(worker.id, worker.incarnation + 1, strikes)
         elif not self._workers:
             # nobody left to serve: fail everything still queued
             while self._queue:
@@ -720,7 +723,10 @@ class WorkerPool:
         self._drained.set()
 
     def __repr__(self) -> str:
+        with self._mu:
+            workers = len(self._workers)
+            completed = self.completed
         return (
-            f"WorkerPool({self.job.label!r}, workers={len(self._workers)},"
-            f" backend={self.backend!r}, completed={self.completed})"
+            f"WorkerPool({self.job.label!r}, workers={workers},"
+            f" backend={self.backend!r}, completed={completed})"
         )

@@ -33,7 +33,6 @@ from repro.ir import (
 from repro.lowering import lower
 from repro.perfmodel import PerfModel
 from repro.runtime import Counters
-from repro.runtime.executor import CompiledPipeline
 from repro.targets.device import A100, SPR_AMX
 from repro.targets.dp4a import (
     DP4AError,

@@ -1,6 +1,5 @@
 """Tests for rules, matching, guards, extraction, and schedules."""
 
-import pytest
 
 from repro.eqsat import (
     CostModel,

@@ -4,7 +4,6 @@ per-request isolation in run_many, and the Server's retry / circuit-
 breaker / admission machinery."""
 
 import pickle
-import threading
 
 import numpy as np
 import pytest

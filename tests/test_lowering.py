@@ -22,7 +22,7 @@ from repro.ir import (
 from repro.lowering import lower
 from repro.lowering.bounds import Interval, interval_of, simplify_affine
 from repro.lowering.vectorize import block_repeat
-from repro.runtime import Buffer, Counters, Interpreter
+from repro.runtime import Counters, Interpreter
 from repro.runtime.executor import realize
 from repro.targets.bfloat16 import round_to_bfloat16
 

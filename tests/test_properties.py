@@ -1,7 +1,6 @@
 """Cross-cutting property tests on the compiler's semantic invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

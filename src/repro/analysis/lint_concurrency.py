@@ -49,6 +49,8 @@ DEFAULT_MODULES = (
     os.path.join(_PKG_ROOT, "service", "serve.py"),
     os.path.join(_PKG_ROOT, "service", "supervisor.py"),
     os.path.join(_PKG_ROOT, "service", "faults.py"),
+    os.path.join(_PKG_ROOT, "service", "shm.py"),
+    os.path.join(_PKG_ROOT, "service", "router.py"),
     os.path.join(_PKG_ROOT, "runtime", "kernel_cache.py"),
     os.path.join(_PKG_ROOT, "runtime", "executor.py"),
 )

@@ -20,6 +20,11 @@ Sites currently wired:
 ``arena.alloc``           inside ``BufferArena.take``/``take_batched``
 ``store.read``            before an artifact/kernel payload is read from disk
 ``store.write``           before an artifact/kernel payload is persisted
+``shm.read``              after a shared-memory frame is mapped by its reader,
+                          before the CRC check (``ShmRing.read``); context
+                          carries the writable payload view as ``buf``
+``shm.write``             before a shared-memory frame is published
+                          (``ShmRing.publish``), before its CRC is computed
 ========================  ====================================================
 """
 

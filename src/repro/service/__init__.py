@@ -23,6 +23,13 @@ top of the compiler:
 * :mod:`.supervisor` — :class:`WorkerPool`: crash-isolated worker
   *processes* supervised over pipes — heartbeats, deadlines, automatic
   restarts, and bounded re-dispatch of in-flight requests.
+* :mod:`.shm` — :class:`ShmRing`: the zero-copy shared-memory data
+  plane under the pool — fixed-slot ring buffers with seqlock handoff
+  and checksummed tensor frames, falling back to the pipe gracefully.
+* :mod:`.router` — :class:`Router`: the mixed-stream front end —
+  buckets requests by (app fingerprint, shape signature, backend),
+  micro-batches each bucket into the batch-axis kernels, and reports
+  per-bucket p50/p99 latency and throughput.
 * :mod:`.faults` — the deterministic fault-injection harness
   (:class:`FaultPlan`) and the :class:`CircuitBreaker` primitive the
   serving tier degrades with.
@@ -61,6 +68,8 @@ from .store import (
     CompileArtifact,
     StoreStats,
 )
+from .router import Router, job_fingerprint, shape_signature
+from .shm import ShmCorruption, ShmRing, ShmRingSpec, ShmUnavailable
 from .supervisor import (
     DeadlineExceeded,
     RemoteError,
@@ -84,8 +93,13 @@ __all__ = [
     "JobResult",
     "RejectedError",
     "RemoteError",
+    "Router",
     "Server",
     "ServerClosed",
+    "ShmCorruption",
+    "ShmRing",
+    "ShmRingSpec",
+    "ShmUnavailable",
     "StoreStats",
     "WarmCompileResult",
     "WorkerCrashed",
@@ -93,8 +107,10 @@ __all__ = [
     "compile_lowered",
     "compile_one",
     "fingerprint_families",
+    "job_fingerprint",
     "rule_fingerprint",
     "ruleset_fingerprint",
+    "shape_signature",
     "warm_compile",
     "warm_select",
 ]

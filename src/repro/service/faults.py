@@ -32,6 +32,11 @@ mode                    default site    effect when it fires
 ``io-error``            store.read      raises :class:`InjectedIOError`
                                         (an ``OSError``; the store's
                                         bounded retry absorbs transients)
+``corrupt-shm-slot``    shm.read        deterministically flips bytes of
+                                        the shared-memory frame being
+                                        read, after the reader mapped it
+                                        but before its CRC check — a
+                                        checksummed ring must reject it
 ======================  ==============  ==================================
 
 Example::
@@ -73,6 +78,7 @@ MODES = (
     "corrupt-artifact",
     "slow-io",
     "io-error",
+    "corrupt-shm-slot",
 )
 
 #: where each mode attaches unless the spec names a site explicitly
@@ -84,6 +90,7 @@ DEFAULT_SITES = {
     "corrupt-artifact": "store.read",
     "slow-io": "store.read",
     "io-error": "store.read",
+    "corrupt-shm-slot": "shm.read",
 }
 
 #: per-mode default sleep for the time-based faults
@@ -253,6 +260,27 @@ class FaultPlan:
             os._exit(KILL_EXIT_CODE)
         if spec.mode == "corrupt-artifact":
             self._corrupt_file(context.get("path"), visit)
+        if spec.mode == "corrupt-shm-slot":
+            self._corrupt_slot(context.get("buf"), visit)
+
+    def _corrupt_slot(self, buf, visit: int) -> None:
+        """Deterministically flip a run of bytes in a mapped
+        shared-memory frame (a writable uint8 view, or absent)."""
+        if buf is None or getattr(buf, "size", 0) == 0:
+            return
+        garbage = hashlib.sha256(
+            f"{self.seed}:corrupt-shm:{visit}".encode("utf-8")
+        ).digest()
+        offset = buf.size // 3
+        span = min(len(garbage), buf.size - offset)
+        # XOR with a non-zero mask guarantees the bytes change
+        import numpy as np
+
+        mask = bytes((g | 0x01) for g in garbage[:span])
+        try:
+            buf[offset:offset + span] ^= np.frombuffer(mask, dtype=np.uint8)
+        except (TypeError, ValueError):  # read-only or exotic view
+            return
 
     def _corrupt_file(self, path: Optional[str], visit: int) -> None:
         """Deterministically flip a run of bytes in ``path`` (if present)."""

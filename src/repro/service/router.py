@@ -1,0 +1,513 @@
+"""Shape-bucketed micro-batching front end over supervised workers.
+
+A serving tier sees a *mixed* stream: many apps, many input shapes,
+one request at a time.  The batch-axis kernels
+(:meth:`~repro.runtime.executor.CompiledPipeline.run_many`) only pay
+off when same-shaped requests arrive together, and the shared-memory
+transport (:mod:`repro.service.shm`) only sizes its slots sensibly
+when a dispatch carries one shape signature.  :class:`Router` is the
+piece that turns the mixed stream into that shape:
+
+* every request is **bucketed** by ``(app fingerprint, input-shape
+  signature, backend)``;
+* each bucket **micro-batches**: it holds requests until it has
+  ``max_batch`` of them or the oldest has waited ``flush_interval``
+  seconds (the deadline-based flush), then dispatches the whole bucket
+  as one :meth:`~repro.service.supervisor.WorkerPool.submit_many`
+  batch — one batch-axis kernel call per serving bucket, tensors over
+  shared memory;
+* **admission control** bounds the total of queued + in-flight
+  requests; beyond ``max_pending`` a submit raises the same
+  :class:`~repro.service.serve.RejectedError` the thread-pool
+  :class:`~repro.service.serve.Server` uses, so callers shed load the
+  same way on either front end;
+* per-bucket **p50/p99 latency and throughput** ride
+  :meth:`Router.stats`, shaped alongside ``Server.stats`` /
+  ``WorkerPool.stats`` so dashboards read all three the same way.
+
+Lock discipline: the router's ``_mu`` is always *inner* — completion
+callbacks fire under a pool's ``_mu`` and then take ``_mu``, so no
+router method may call into a pool while holding ``_mu`` (the flusher
+drains a bucket under ``_mu``, releases it, and only then dispatches).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..runtime.executor import RequestError
+from .batch import CompileJob
+from .faults import FaultPlan
+from .serve import RejectedError, ServerClosed
+from .supervisor import WorkerPool
+
+__all__ = ["Router", "job_fingerprint", "shape_signature"]
+
+
+def job_fingerprint(job: CompileJob) -> str:
+    """Stable short digest identifying one app/variant/params/backend."""
+    blob = repr((job.app, job.variant, job.builder, job.params, job.backend))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def shape_signature(inputs: Optional[dict]) -> tuple:
+    """The bucket-forming view of one request's inputs: sorted
+    ``(name, dtype, shape)`` triples (non-array values by type name,
+    ``()`` for a ``None`` request)."""
+    if not isinstance(inputs, dict):
+        return ()
+    signature = []
+    for name in sorted(inputs, key=repr):
+        value = inputs[name]
+        if isinstance(value, np.ndarray):
+            signature.append((name, value.dtype.str, value.shape))
+        else:
+            signature.append((name, type(value).__name__, ()))
+    return tuple(signature)
+
+
+class _Entry:
+    """One queued request: the caller's future plus flush metadata."""
+
+    __slots__ = ("future", "inputs", "deadline", "idempotent", "queued_at")
+
+    def __init__(self, inputs, deadline, idempotent, queued_at):
+        self.future: "Future[np.ndarray]" = Future()
+        self.inputs = inputs
+        self.deadline = deadline
+        self.idempotent = idempotent
+        self.queued_at = queued_at
+
+
+class _Bucket:
+    """One ``(fingerprint, shape signature, backend)`` serving bucket.
+
+    All mutable state is guarded by the router's ``_mu``.
+    """
+
+    __slots__ = (
+        "key",
+        "job_key",
+        "queue",
+        "latencies",
+        "submitted",
+        "completed",
+        "failed",
+        "rejected",
+        "flushes",
+        "largest_flush",
+        "first_submit",
+        "last_done",
+    )
+
+    def __init__(self, key: tuple, job_key: str, window: int) -> None:
+        self.key = key
+        self.job_key = job_key
+        self.queue: Deque[_Entry] = deque()
+        self.latencies: Deque[float] = deque(maxlen=window)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.flushes = 0
+        self.largest_flush = 0
+        self.first_submit: Optional[float] = None
+        self.last_done: Optional[float] = None
+
+
+class Router:
+    """Route a mixed request stream into micro-batched worker pools.
+
+    Parameters
+    ----------
+    jobs:
+        The serving catalog: one :class:`CompileJob` per app; one
+        supervised :class:`WorkerPool` is spawned per distinct job.
+    workers:
+        Worker-process count **per pool** (default 2).
+    backend:
+        Execution backend inside the workers; defaults to each job's.
+    cache_dir:
+        Shared artifact-store root for worker warm starts.
+    max_batch:
+        Bucket flush threshold and largest batch per dispatch
+        (default 8).
+    flush_interval:
+        Deadline-based flush: a non-empty bucket is dispatched once its
+        oldest request has waited this long (seconds, default 0.005).
+    max_pending:
+        Admission bound on queued + in-flight requests across the
+        whole router; beyond it :meth:`submit` raises
+        :class:`~repro.service.serve.RejectedError`.
+    transport / fault_plan / deadline / retries / heartbeat_interval /
+    hang_grace / max_restarts / mp_context:
+        Forwarded to every :class:`WorkerPool` (see there).
+    latency_window:
+        Per-bucket latency samples kept for the p50/p99 estimate
+        (default 2048).
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[CompileJob],
+        workers: int = 2,
+        backend: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        max_batch: int = 8,
+        flush_interval: float = 0.005,
+        max_pending: Optional[int] = None,
+        transport: str = "auto",
+        fault_plan: Optional[FaultPlan] = None,
+        deadline: Optional[float] = None,
+        retries: int = 2,
+        heartbeat_interval: float = 0.05,
+        hang_grace: Optional[float] = None,
+        max_restarts: int = 16,
+        mp_context=None,
+        latency_window: int = 2048,
+    ) -> None:
+        jobs = list(jobs)
+        if not jobs:
+            raise ValueError("a Router needs at least one job")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if flush_interval <= 0:
+            raise ValueError("flush_interval must be > 0")
+        self.max_batch = int(max_batch)
+        self.flush_interval = float(flush_interval)
+        self.max_pending = max_pending
+        self.latency_window = int(latency_window)
+
+        self._jobs: Dict[str, CompileJob] = {}
+        self._pools: Dict[str, WorkerPool] = {}
+        for job in jobs:
+            key = job_fingerprint(job)
+            if key in self._jobs:
+                continue
+            self._jobs[key] = job
+            self._pools[key] = WorkerPool(
+                job,
+                workers=workers,
+                backend=backend,
+                cache_dir=cache_dir,
+                fault_plan=fault_plan,
+                retries=retries,
+                deadline=deadline,
+                heartbeat_interval=heartbeat_interval,
+                hang_grace=hang_grace,
+                max_restarts=max_restarts,
+                transport=transport,
+                batch_max=self.max_batch,
+                mp_context=mp_context,
+            )
+
+        self._mu = threading.Lock()
+        self._buckets: Dict[tuple, _Bucket] = {}  # guarded-by: _mu
+        self._pending = 0  # guarded-by: _mu
+        self._closed = False  # guarded-by: _mu
+        self.submitted = 0  # guarded-by: _mu
+        self.completed = 0  # guarded-by: _mu
+        self.failed = 0  # guarded-by: _mu
+        self.rejected = 0  # guarded-by: _mu
+
+        self._wake = threading.Event()
+        self._drained = threading.Event()
+        self._flusher = threading.Thread(
+            target=self._flush_loop, daemon=True, name="repro-router-flush"
+        )
+        self._flusher.start()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Flush every bucket, drain the pools, shut down.  Idempotent."""
+        with self._mu:
+            self._closed = True
+        self._wake.set()
+        self._drained.wait(timeout)
+        for pool in self._pools.values():
+            pool.close(timeout=timeout)
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- public API ------------------------------------------------------------
+
+    def _job_key(self, job: Union[CompileJob, str]) -> str:
+        key = job if isinstance(job, str) else job_fingerprint(job)
+        if key not in self._pools:
+            raise KeyError(f"job {job!r} is not in this router's catalog")
+        return key
+
+    def submit(
+        self,
+        job: Union[CompileJob, str],
+        inputs: Optional[Dict[str, np.ndarray]],
+        deadline: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> "Future[np.ndarray]":
+        """Enqueue one request into its bucket; resolves on flush+run.
+
+        ``job`` is a catalog :class:`CompileJob` (or its fingerprint).
+        Raises :class:`RejectedError` beyond ``max_pending`` and
+        :class:`ServerClosed` after :meth:`close`.
+        """
+        job_key = self._job_key(job)
+        now = time.monotonic()
+        entry = _Entry(inputs, deadline, idempotent, now)
+        with self._mu:
+            if self._closed:
+                raise ServerClosed("router is closed")
+            bucket_key = (job_key, shape_signature(inputs))
+            bucket = self._buckets.get(bucket_key)
+            if bucket is None:
+                bucket = _Bucket(
+                    bucket_key + (self._pools[job_key].backend,),
+                    job_key,
+                    self.latency_window,
+                )
+                self._buckets[bucket_key] = bucket
+            if (
+                self.max_pending is not None
+                and self._pending >= self.max_pending
+            ):
+                self.rejected += 1
+                bucket.rejected += 1
+                raise RejectedError(
+                    f"admission queue full ({self.max_pending} pending)"
+                )
+            bucket.queue.append(entry)
+            bucket.submitted += 1
+            if bucket.first_submit is None:
+                bucket.first_submit = now
+            self.submitted += 1
+            self._pending += 1
+            full = len(bucket.queue) >= self.max_batch
+        if full:
+            self._wake.set()
+        return entry.future
+
+    def run(
+        self,
+        job: Union[CompileJob, str],
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        return self.submit(job, inputs, deadline=deadline).result()
+
+    def run_many(
+        self,
+        job: Union[CompileJob, str],
+        requests: Sequence[Optional[Dict[str, np.ndarray]]],
+        deadline: Optional[float] = None,
+        on_error: str = "raise",
+    ) -> List[np.ndarray]:
+        """Route a stream of requests; outputs in submission order.
+
+        ``on_error="return"`` puts a
+        :class:`~repro.runtime.executor.RequestError` at each failed
+        index instead of raising on the first.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
+        futures = [
+            self.submit(job, inputs, deadline=deadline) for inputs in requests
+        ]
+        results: List[np.ndarray] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                results.append(RequestError(index, exc))
+        return results
+
+    def stats(self) -> Dict[str, object]:
+        """Router counters, per-bucket latency/throughput, pool stats."""
+        with self._mu:
+            buckets = [
+                self._bucket_stats_locked(bucket)
+                for bucket in self._buckets.values()
+            ]
+            summary = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "pending": self._pending,
+                "closed": self._closed,
+            }
+        summary["buckets"] = buckets
+        summary["jobs"] = {
+            key: job.label for key, job in self._jobs.items()
+        }
+        summary["pools"] = {
+            key: pool.stats() for key, pool in self._pools.items()
+        }
+        return summary
+
+    def _bucket_stats_locked(self, bucket: _Bucket) -> Dict[str, object]:
+        job_key, signature = bucket.key[0], bucket.key[1]
+        latencies = np.asarray(bucket.latencies, dtype=np.float64)
+        p50 = p99 = None
+        if latencies.size:
+            p50 = float(np.percentile(latencies, 50) * 1e3)
+            p99 = float(np.percentile(latencies, 99) * 1e3)
+        throughput = None
+        if (
+            bucket.completed
+            and bucket.first_submit is not None
+            and bucket.last_done is not None
+            and bucket.last_done > bucket.first_submit
+        ):
+            throughput = bucket.completed / (
+                bucket.last_done - bucket.first_submit
+            )
+        return {
+            "job": self._jobs[job_key].label,
+            "fingerprint": job_key,
+            "signature": signature,
+            "backend": bucket.key[2],
+            "submitted": bucket.submitted,
+            "completed": bucket.completed,
+            "failed": bucket.failed,
+            "rejected": bucket.rejected,
+            "flushes": bucket.flushes,
+            "largest_flush": bucket.largest_flush,
+            "queued": len(bucket.queue),
+            "p50_ms": p50,
+            "p99_ms": p99,
+            "throughput_rps": throughput,
+        }
+
+    # -- flushing --------------------------------------------------------------
+
+    def _due_locked(self, now: float, closing: bool) -> List[_Bucket]:
+        """Buckets whose queue must dispatch now: full, aged past the
+        flush window, or a close is draining everything."""
+        due = []
+        for bucket in self._buckets.values():
+            if not bucket.queue:
+                continue
+            if (
+                closing
+                or len(bucket.queue) >= self.max_batch
+                or now - bucket.queue[0].queued_at >= self.flush_interval
+            ):
+                due.append(bucket)
+        return due
+
+    def _flush_loop(self) -> None:
+        poll = max(self.flush_interval / 2.0, 0.0005)
+        while True:
+            self._wake.wait(timeout=poll)
+            self._wake.clear()
+            now = time.monotonic()
+            with self._mu:
+                closing = self._closed
+                due = self._due_locked(now, closing)
+                drained = [
+                    (bucket, list(bucket.queue)) for bucket in due
+                ]
+                for bucket, entries in drained:
+                    bucket.queue.clear()
+                    bucket.flushes += 1
+                    bucket.largest_flush = max(
+                        bucket.largest_flush, len(entries)
+                    )
+            for bucket, entries in drained:
+                self._dispatch(bucket, entries)
+            if closing and not drained:
+                with self._mu:
+                    empty = all(
+                        not bucket.queue for bucket in self._buckets.values()
+                    )
+                if empty:
+                    break
+        self._drained.set()
+
+    def _dispatch(self, bucket: _Bucket, entries: List[_Entry]) -> None:
+        """Hand one drained bucket to its pool (never under ``_mu``).
+
+        Entries with distinct (deadline, idempotent) knobs become
+        separate ``submit_many`` calls — the pool applies those
+        per-batch.  A pool-side rejection or close fails the affected
+        entries with the pool's typed error.
+        """
+        pool = self._pools[bucket.job_key]
+        groups: Dict[Tuple, List[_Entry]] = {}
+        for entry in entries:
+            groups.setdefault((entry.deadline, entry.idempotent), []).append(
+                entry
+            )
+        for (deadline, idempotent), group in groups.items():
+            try:
+                pool_futures = pool.submit_many(
+                    [entry.inputs for entry in group],
+                    deadline=deadline,
+                    idempotent=idempotent,
+                )
+            except (RejectedError, ServerClosed) as exc:
+                with self._mu:
+                    self._pending -= len(group)
+                    self.failed += len(group)
+                    bucket.failed += len(group)
+                    if isinstance(exc, RejectedError):
+                        self.rejected += len(group)
+                        bucket.rejected += len(group)
+                for entry in group:
+                    entry.future.set_exception(exc)
+                continue
+            for entry, pool_future in zip(group, pool_futures):
+                pool_future.add_done_callback(
+                    lambda pf, entry=entry, bucket=bucket: self._complete(
+                        bucket, entry, pf
+                    )
+                )
+
+    def _complete(self, bucket: _Bucket, entry: _Entry, pool_future) -> None:
+        """Resolve one caller future from its pool future.
+
+        Runs under the pool's ``_mu`` (supervisor thread) — it must
+        only touch router state and the caller's future, never call
+        back into any pool.
+        """
+        error = pool_future.exception()
+        now = time.monotonic()
+        with self._mu:
+            self._pending -= 1
+            if error is None:
+                self.completed += 1
+                bucket.completed += 1
+                bucket.latencies.append(now - entry.queued_at)
+                bucket.last_done = now
+            else:
+                self.failed += 1
+                bucket.failed += 1
+        if error is None:
+            entry.future.set_result(pool_future.result())
+        else:
+            entry.future.set_exception(error)
+
+    def __repr__(self) -> str:
+        with self._mu:
+            buckets = len(self._buckets)
+            pending = self._pending
+            completed = self.completed
+        return (
+            f"Router(jobs={len(self._jobs)}, buckets={buckets},"
+            f" pending={pending}, completed={completed})"
+        )

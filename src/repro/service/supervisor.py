@@ -12,21 +12,39 @@ its own *process*, supervised over a duplex pipe:
   from dispatch, and heartbeat staleness for a process wedged hard
   enough that its heartbeat thread stops (e.g. a C loop holding the
   GIL).  Either kills and restarts the worker;
-* the in-flight request of a dead worker is **re-dispatched** under a
-  bounded retry budget with exponential backoff and deterministic
-  jitter — unless it was submitted ``idempotent=False``, in which case
-  at-most-once semantics apply and the caller gets the typed error;
+* the in-flight requests of a dead worker are **re-dispatched** under
+  a bounded retry budget with exponential backoff and deterministic
+  jitter — unless a request was submitted ``idempotent=False``, in
+  which case at-most-once semantics apply and the caller gets the
+  typed error;
 * workers **warm-start** from the shared artifact store
   (``cache_dir``), so a restart re-hydrates kernels instead of paying
   saturation and codegen again.
 
-Requests cross the process boundary as picklable name->array dicts
-(the same shape :func:`tests.conftest.build_requests` produces), and
-jobs as :class:`~repro.service.batch.CompileJob` specs — an ``App``
-itself is not picklable.
+Transport is split into two planes.  The **control plane** — request
+ids, shape/dtype metadata, slot indices, error reports — always rides
+the duplex pipe as small picklable tuples.  The **data plane** —
+tensor payloads — rides a pair of :class:`~repro.service.shm.ShmRing`
+shared-memory rings per worker (requests one way, responses the
+other), written once and mapped as zero-copy NumPy views on the far
+side, with no per-request pickling.  When shared memory is
+unavailable, a frame outgrows its slot, or every slot is in flight,
+that batch transparently falls back to the legacy pipe path (whole
+batch as *one* pickle message, preserving intra-batch array identity);
+``transport="pipe"`` disables shared memory outright.
 
-Every recovery action — restarts, retries, deadline and heartbeat
-kills, crash counts — is reported by :meth:`WorkerPool.stats`.
+Requests are queued as **batches**: :meth:`WorkerPool.submit` enqueues
+a singleton, :meth:`WorkerPool.submit_many` a micro-batch that a
+worker executes through the batch-axis
+:meth:`~repro.runtime.executor.CompiledPipeline.run_many` path (shared
+weights stay shared across the boundary because frames deduplicate
+tensors by identity).  Retries always re-queue as singletons so one
+poisoned request cannot re-fail its batch-mates.
+
+Jobs cross the boundary as :class:`~repro.service.batch.CompileJob`
+specs — an ``App`` itself is not picklable.  Every recovery action —
+restarts, retries, deadline and heartbeat kills, crash counts — and
+every transport decision is reported by :meth:`WorkerPool.stats`.
 """
 
 from __future__ import annotations
@@ -48,6 +66,7 @@ from ..runtime.executor import RequestError
 from .batch import CompileJob
 from .faults import FaultPlan
 from .serve import RejectedError, ServerClosed
+from . import shm as shm_transport
 
 
 class WorkerCrashed(RuntimeError):
@@ -68,6 +87,10 @@ class RemoteError(RuntimeError):
     The original traceback text is on :attr:`remote_traceback` — the
     exception object itself never crosses the process boundary (it may
     not be picklable), so the supervisor re-raises this typed wrapper.
+    For a request that failed inside a worker-side batch, the traceback
+    is the *original* per-request one recovered from
+    :class:`~repro.runtime.executor.RequestError`, not the batch
+    wrapper's.
     """
 
     def __init__(self, kind: str, message: str, remote_traceback: str) -> None:
@@ -83,6 +106,63 @@ class WorkerInitFailed(RuntimeError):
 # -- worker process ------------------------------------------------------------
 
 
+def _format_remote(exc: BaseException) -> tuple:
+    """``(kind, message, traceback_text)`` for one worker-side error,
+    unwrapping :class:`RequestError` to the request's original failure
+    so callers see the real traceback, not the batch wrapper's."""
+    if isinstance(exc, RequestError):
+        exc = exc.original
+    tb = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return type(exc).__name__, str(exc), tb
+
+
+def _serve_batch(pipeline, rids, requests, resp_ring) -> dict:
+    """Run one batch in the worker and lay out the reply payload.
+
+    Singletons take the exact per-request :meth:`CompiledPipeline.run`
+    path; larger batches go through :meth:`run_many` (batch-axis kernel
+    with its transparent looped fallback) under ``on_error="return"``
+    so one poisoned request fails alone.  Successful outputs ride the
+    response ring when they fit (``"shm"``), the pipe otherwise
+    (``"inline"``); failures always ride the pipe (``"errs"``).
+    """
+    errs: List[tuple] = []
+    ok: List[tuple] = []
+    if len(requests) == 1:
+        try:
+            ok.append((rids[0], pipeline.run(requests[0])))
+        except BaseException as exc:
+            errs.append((rids[0],) + _format_remote(exc))
+    else:
+        try:
+            outputs = pipeline.run_many(
+                requests, workers=1, on_error="return"
+            )
+        except BaseException as exc:
+            remote = _format_remote(exc)
+            return {
+                "shm": None,
+                "inline": [],
+                "errs": [(rid,) + remote for rid in rids],
+            }
+        for rid, output in zip(rids, outputs):
+            if isinstance(output, RequestError):
+                errs.append((rid,) + _format_remote(output))
+            else:
+                ok.append((rid, output))
+    shm_part = None
+    if resp_ring is not None and ok:
+        plan = shm_transport.plan_frame([{"o": out} for _, out in ok])
+        if plan is not None:
+            slot = shm_transport.write_frame(resp_ring, plan)
+            if slot is not None:
+                shm_part = (slot, [rid for rid, _ in ok], plan.meta)
+                ok = []
+    return {"shm": shm_part, "inline": ok, "errs": errs}
+
+
 def _worker_main(
     worker_id: int,
     incarnation: int,
@@ -96,10 +176,16 @@ def _worker_main(
     """Entry point of one worker process.
 
     Protocol (worker -> supervisor): ``("hb",)`` heartbeats on a side
-    thread, ``("ready", incarnation)`` once the pipeline is built, then
-    one ``("ok", req_id, output)`` or ``("err", req_id, kind, msg,
-    tb)`` per ``("req", req_id, inputs)`` received.  ``("init_err",
-    tb)`` replaces ``ready`` when the build fails.
+    thread, ``("ready", incarnation, out_nbytes)`` once the pipeline is
+    built, ``("attached",)`` / ``("attach_err", tb)`` answering a ring
+    handoff, then one ``("done", payload)`` per batch received.
+    ``("init_err", tb)`` replaces ``ready`` when the build fails.
+
+    Protocol (supervisor -> worker): ``("attach", req_spec,
+    resp_spec)`` hands over the shared-memory rings, ``("reqs",
+    [(rid, inputs), ...])`` carries a batch over the pipe,
+    ``("reqs_shm", slot, rids, meta)`` points at a published
+    request-ring frame, ``("stop",)`` shuts down.
     """
     send_lock = threading.Lock()
 
@@ -133,33 +219,71 @@ def _worker_main(
         app = job.build_app()
         app.backend = backend
         pipeline = app.compile(cache_dir=cache_dir)
+        out_nbytes = int(
+            np.prod(pipeline.output_extents, dtype=np.int64)
+        ) * np.dtype(pipeline.output_dtype.to_numpy()).itemsize
     except BaseException:
         send(("init_err", traceback.format_exc()))
         return
-    send(("ready", incarnation))
+    send(("ready", incarnation, out_nbytes))
+    req_ring: Optional[shm_transport.ShmRing] = None
+    resp_ring: Optional[shm_transport.ShmRing] = None
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break
-        if message[0] == "stop":
+        kind = message[0]
+        if kind == "stop":
             break
-        _, req_id, inputs = message
-        try:
-            output = pipeline.run(inputs)
-        except BaseException as exc:
-            send(
-                (
-                    "err",
-                    req_id,
-                    type(exc).__name__,
-                    str(exc),
-                    traceback.format_exc(),
+        if kind == "attach":
+            _, req_spec, resp_spec = message
+            try:
+                req_ring = shm_transport.ShmRing.attach(req_spec)
+                resp_ring = shm_transport.ShmRing.attach(resp_spec)
+            except Exception:
+                req_ring = resp_ring = None
+                send(("attach_err", traceback.format_exc()))
+            else:
+                send(("attached",))
+            continue
+        if kind == "reqs":
+            _, packed = message
+            rids = [rid for rid, _ in packed]
+            requests = [inputs for _, inputs in packed]
+            slot = None
+        else:  # "reqs_shm"
+            _, slot, rids, meta = message
+            try:
+                requests = shm_transport.read_frame(req_ring, slot, meta)
+            except shm_transport.ShmCorruption:
+                remote = _format_remote(
+                    shm_transport.ShmCorruption(
+                        f"request frame in slot {slot} rejected"
+                    )
                 )
-            )
-        else:
-            send(("ok", req_id, output))
+                req_ring.release(slot)  # corrupt or not, free the slot
+                send(
+                    (
+                        "done",
+                        {
+                            "shm": None,
+                            "inline": [],
+                            "errs": [(rid,) + remote for rid in rids],
+                        },
+                    )
+                )
+                continue
+        payload = _serve_batch(pipeline, rids, requests, resp_ring)
+        if slot is not None:
+            # the kernel may read zero-copy views until the run above
+            # returned; only now is the slot safe to hand back
+            req_ring.release(slot)
+        send(("done", payload))
     stop_beat.set()
+    for ring in (req_ring, resp_ring):
+        if ring is not None:
+            ring.close()
 
 
 # -- supervisor-side bookkeeping -----------------------------------------------
@@ -186,6 +310,29 @@ class _Request:
         self.not_before = 0.0  # retry backoff gate (monotonic time)
 
 
+class _Batch:
+    """The queue/dispatch unit: one or more requests served together."""
+
+    __slots__ = ("requests",)
+
+    def __init__(self, requests: List[_Request]) -> None:
+        self.requests = requests
+
+    @property
+    def not_before(self) -> float:
+        return max(request.not_before for request in self.requests)
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Tightest member deadline — the batch runs as one dispatch."""
+        deadlines = [
+            request.deadline
+            for request in self.requests
+            if request.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+
 class _Worker:
     __slots__ = (
         "id",
@@ -193,10 +340,14 @@ class _Worker:
         "process",
         "conn",
         "ready",
-        "request",
+        "batch",
         "dispatched_at",
         "last_heartbeat",
         "init_strikes",
+        "out_nbytes",
+        "req_ring",
+        "resp_ring",
+        "shm_state",  # "none" | "pending" | "ready" | "broken"
     )
 
     def __init__(self, wid, incarnation, process, conn, init_strikes, now):
@@ -205,10 +356,14 @@ class _Worker:
         self.process = process
         self.conn = conn
         self.ready = False
-        self.request: Optional[_Request] = None
+        self.batch: Optional[_Batch] = None
         self.dispatched_at = 0.0
         self.last_heartbeat = now
         self.init_strikes = init_strikes
+        self.out_nbytes: Optional[int] = None
+        self.req_ring: Optional[shm_transport.ShmRing] = None
+        self.resp_ring: Optional[shm_transport.ShmRing] = None
+        self.shm_state = "none"
 
 
 def _jitter_fraction(req_id: int, attempt: int) -> float:
@@ -245,6 +400,7 @@ class WorkerPool:
     deadline:
         Default per-request deadline in seconds, measured from
         dispatch; ``None`` disables.  Overridable per :meth:`submit`.
+        A batch is killed on its tightest member deadline.
     heartbeat_interval:
         Worker heartbeat period; staleness beyond ``hang_grace``
         (default ``max(1s, 10x interval)``) kills the worker.
@@ -253,6 +409,14 @@ class WorkerPool:
         raises :class:`~repro.service.serve.RejectedError`.
     max_restarts:
         Total restart budget; once spent, further deaths are final.
+    transport:
+        ``"auto"`` (default) uses shared-memory rings when the host
+        supports them, with per-batch pipe fallback; ``"shm"`` insists
+        (raises :class:`~repro.service.shm.ShmUnavailable` up front
+        when the host cannot); ``"pipe"`` never touches shared memory.
+    batch_max:
+        Largest batch one dispatch may carry (:meth:`submit_many`
+        chunks above it).
     mp_context:
         Multiprocessing start-method name (``"fork"``/``"spawn"``) or
         context object; default is the platform default.
@@ -260,6 +424,7 @@ class WorkerPool:
 
     _POLL = 0.02  # supervisor loop granularity (seconds)
     _INIT_STRIKE_LIMIT = 3
+    _RING_SLOTS = 2  # one frame in flight + one being written
 
     def __init__(
         self,
@@ -276,12 +441,21 @@ class WorkerPool:
         hang_grace: Optional[float] = None,
         max_pending: Optional[int] = None,
         max_restarts: int = 16,
+        transport: str = "auto",
+        batch_max: int = 32,
         mp_context=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if transport not in ("auto", "shm", "pipe"):
+            raise ValueError(
+                f"transport must be 'auto', 'shm', or 'pipe',"
+                f" got {transport!r}"
+            )
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
         self.job = job
         self.backend = backend if backend is not None else job.backend
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -298,13 +472,22 @@ class WorkerPool:
         )
         self.max_pending = max_pending
         self.max_restarts = int(max_restarts)
+        self.batch_max = int(batch_max)
+        if transport == "shm" and not shm_transport.available():
+            raise shm_transport.ShmUnavailable(
+                "transport='shm' requested but this host cannot back"
+                " shared memory"
+            )
+        if transport == "auto" and not shm_transport.available():
+            transport = "pipe"
+        self.transport = transport
         if isinstance(mp_context, str):
             self._ctx = multiprocessing.get_context(mp_context)
         else:
             self._ctx = mp_context or multiprocessing.get_context()
 
         self._mu = threading.Lock()
-        self._queue: Deque[_Request] = deque()  # guarded-by: _mu
+        self._queue: Deque[_Batch] = deque()  # guarded-by: _mu
         self._workers: Dict[int, _Worker] = {}  # guarded-by: _mu
         self._closed = False  # guarded-by: _mu
         self._drained = threading.Event()
@@ -319,6 +502,12 @@ class WorkerPool:
         self.completed = 0  # guarded-by: _mu
         self.failed = 0  # guarded-by: _mu
         self.rejected = 0  # guarded-by: _mu
+        self.shm_batches = 0  # guarded-by: _mu
+        self.shm_requests = 0  # guarded-by: _mu
+        self.pipe_batches = 0  # guarded-by: _mu
+        self.pipe_payloads = 0  # guarded-by: _mu
+        self.shm_fallbacks = 0  # guarded-by: _mu
+        self.shm_corruptions = 0  # guarded-by: _mu
 
         # no supervisor thread exists yet, so these spawns race nothing
         for wid in range(int(workers)):
@@ -355,6 +544,14 @@ class WorkerPool:
             wid, incarnation, process, parent_conn, init_strikes,
             time.monotonic(),
         )
+
+    def _destroy_rings(self, worker: _Worker) -> None:
+        """Tear down one worker's rings (supervisor owns the segments)."""
+        for ring in (worker.req_ring, worker.resp_ring):
+            if ring is not None:
+                ring.destroy()
+        worker.req_ring = None
+        worker.resp_ring = None
 
     def _nudge(self) -> None:
         try:
@@ -396,26 +593,55 @@ class WorkerPool:
         the future fails with the typed error instead of re-running
         work whose side effects may have partially applied.
         """
+        return self.submit_many(
+            [inputs], deadline=deadline, idempotent=idempotent
+        )[0]
+
+    def submit_many(
+        self,
+        requests: Sequence[Optional[Dict[str, np.ndarray]]],
+        deadline: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> "List[Future[np.ndarray]]":
+        """Enqueue a micro-batch; one future per request, in order.
+
+        The batch is chunked across idle workers (never beyond
+        ``batch_max`` per chunk) and each chunk runs as one batch-axis
+        dispatch inside a worker.  Admission is all-or-nothing: when
+        ``max_pending`` cannot absorb the whole batch, every request is
+        rejected and counted.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
         with self._mu:
             if self._closed:
                 raise ServerClosed("worker pool is closed")
             if (
                 self.max_pending is not None
-                and self._pending_locked() >= self.max_pending
+                and self._pending_locked() + len(requests) > self.max_pending
             ):
-                self.rejected += 1
+                self.rejected += len(requests)
                 raise RejectedError(
                     f"admission queue full ({self.max_pending} pending)"
                 )
-            request = _Request(
-                next(self._req_ids),
-                inputs,
-                idempotent,
-                deadline if deadline is not None else self.deadline,
+            members = [
+                _Request(
+                    next(self._req_ids),
+                    inputs,
+                    idempotent,
+                    deadline if deadline is not None else self.deadline,
+                )
+                for inputs in requests
+            ]
+            spread = max(1, len(self._workers))
+            chunk = max(
+                1, min(self.batch_max, -(-len(members) // spread))
             )
-            self._queue.append(request)
+            for start in range(0, len(members), chunk):
+                self._queue.append(_Batch(members[start:start + chunk]))
         self._nudge()
-        return request.future
+        return [member.future for member in members]
 
     def run(
         self,
@@ -432,10 +658,15 @@ class WorkerPool:
     ) -> List[np.ndarray]:
         """Run a batch over the pool; outputs in request order.
 
+        Each request is submitted as its own dispatch (use
+        :meth:`submit_many` for micro-batched dispatch); tensor
+        payloads still ride the shared-memory data plane.
         ``on_error="return"`` isolates failures per request — the
         result list carries a
         :class:`~repro.runtime.executor.RequestError` at each failed
-        index instead of raising on the first.
+        index instead of raising on the first, with the worker-side
+        traceback preserved on its ``original``
+        (:class:`RemoteError`).
         """
         if on_error not in ("raise", "return"):
             raise ValueError(
@@ -457,14 +688,21 @@ class WorkerPool:
     def stats(self) -> Dict[str, object]:
         """Recovery and throughput counters plus per-worker state."""
         with self._mu:
+            rings = [
+                ring.stats()
+                for worker in self._workers.values()
+                for ring in (worker.req_ring, worker.resp_ring)
+                if ring is not None
+            ]
             return {
                 "workers": [
                     {
                         "id": worker.id,
                         "incarnation": worker.incarnation,
                         "ready": worker.ready,
-                        "busy": worker.request is not None,
+                        "busy": worker.batch is not None,
                         "alive": worker.process.is_alive(),
+                        "shm": worker.shm_state,
                     }
                     for worker in self._workers.values()
                 ],
@@ -478,15 +716,27 @@ class WorkerPool:
                 "rejected": self.rejected,
                 "pending": self._pending_locked(),
                 "closed": self._closed,
+                "transport": {
+                    "mode": self.transport,
+                    "shm_batches": self.shm_batches,
+                    "shm_requests": self.shm_requests,
+                    "pipe_batches": self.pipe_batches,
+                    "pipe_payloads": self.pipe_payloads,
+                    "shm_fallbacks": self.shm_fallbacks,
+                    "shm_corruptions": self.shm_corruptions,
+                    "rings": rings,
+                },
             }
 
     # -- supervisor internals --------------------------------------------------
 
     def _pending_locked(self) -> int:
         inflight = sum(
-            1 for worker in self._workers.values() if worker.request
+            len(worker.batch.requests)
+            for worker in self._workers.values()
+            if worker.batch is not None
         )
-        return len(self._queue) + inflight
+        return sum(len(batch.requests) for batch in self._queue) + inflight
 
     def _backoff(self, request: _Request) -> float:
         base = min(
@@ -502,7 +752,8 @@ class WorkerPool:
     def _retry_or_fail_locked(
         self, request: _Request, error: BaseException
     ) -> None:
-        """Re-queue a failed dispatch, or surface the error.
+        """Re-queue a failed dispatch (as a singleton batch, so it
+        cannot re-fail batch-mates), or surface the error.
 
         ``request.attempts`` already counts the dispatch that failed.
         """
@@ -515,7 +766,7 @@ class WorkerPool:
             return
         self.retries_performed += 1
         request.not_before = time.monotonic() + self._backoff(request)
-        self._queue.appendleft(request)
+        self._queue.appendleft(_Batch([request]))
 
     def _reap_locked(
         self,
@@ -524,9 +775,9 @@ class WorkerPool:
         counter: str,
         respawn: bool = True,
     ) -> None:
-        """Bury a dead/hung worker, requeue its request, restart it."""
+        """Bury a dead/hung worker, requeue its batch, restart it."""
         setattr(self, counter, getattr(self, counter) + 1)
-        request, worker.request = worker.request, None
+        batch, worker.batch = worker.batch, None
         try:
             worker.conn.close()
         except OSError:  # pragma: no cover
@@ -539,8 +790,10 @@ class WorkerPool:
                 worker.process.join(timeout=1.0)
         else:
             worker.process.join(timeout=1.0)
-        if request is not None:
-            self._retry_or_fail_locked(request, error)
+        self._destroy_rings(worker)
+        if batch is not None:
+            for request in batch.requests:
+                self._retry_or_fail_locked(request, error)
         del self._workers[worker.id]
         strikes = worker.init_strikes + (0 if worker.ready else 1)
         if (
@@ -554,10 +807,10 @@ class WorkerPool:
         elif not self._workers:
             # nobody left to serve: fail everything still queued
             while self._queue:
-                self._fail_locked(
-                    self._queue.popleft(),
-                    WorkerCrashed("no live workers remain"),
-                )
+                for request in self._queue.popleft().requests:
+                    self._fail_locked(
+                        request, WorkerCrashed("no live workers remain")
+                    )
 
     def _handle_message_locked(self, worker: _Worker, message) -> None:
         kind = message[0]
@@ -568,6 +821,16 @@ class WorkerPool:
         if kind == "ready":
             worker.ready = True
             worker.init_strikes = 0
+            worker.out_nbytes = message[2]
+            return
+        if kind == "attached":
+            if worker.shm_state == "pending":
+                worker.shm_state = "ready"
+            return
+        if kind == "attach_err":
+            worker.shm_state = "broken"
+            self.shm_fallbacks += 1
+            self._destroy_rings(worker)
             return
         if kind == "init_err":
             # the worker exits right after sending this; reap it now
@@ -580,51 +843,155 @@ class WorkerPool:
                 "crashes",
             )
             return
-        request = worker.request
-        if kind == "ok":
-            _, req_id, output = message
-            if request is not None and request.id == req_id:
-                worker.request = None
-                self.completed += 1
-                request.future.set_result(output)
+        if kind == "done":
+            self._finish_batch_locked(worker, message[1])
+
+    def _finish_batch_locked(self, worker: _Worker, payload: dict) -> None:
+        """Resolve one dispatched batch from its reply payload."""
+        batch, worker.batch = worker.batch, None
+        if batch is None:  # stale reply from a reaped dispatch
             return
-        if kind == "err":
-            _, req_id, err_kind, err_msg, err_tb = message
-            if request is not None and request.id == req_id:
-                worker.request = None
+        by_id = {request.id: request for request in batch.requests}
+        outputs: Dict[int, np.ndarray] = {}
+        shm_part = payload.get("shm")
+        if shm_part is not None:
+            slot, rids, meta = shm_part
+            try:
+                frames = shm_transport.read_frame(
+                    worker.resp_ring, slot, meta, copy=True
+                )
+            except shm_transport.ShmCorruption as exc:
+                self.shm_corruptions += 1
+                worker.resp_ring.release(slot)
+                for rid in rids:
+                    request = by_id.pop(rid, None)
+                    if request is not None:
+                        self._retry_or_fail_locked(request, exc)
+            else:
+                worker.resp_ring.release(slot)
+                for rid, frame in zip(rids, frames):
+                    outputs[rid] = frame["o"]
+        for rid, output in payload.get("inline", ()):
+            outputs[rid] = output
+        for rid, err_kind, err_msg, err_tb in payload.get("errs", ()):
+            request = by_id.pop(rid, None)
+            if request is not None:
+                if err_kind == "ShmCorruption":
+                    self.shm_corruptions += 1
                 self._retry_or_fail_locked(
                     request, RemoteError(err_kind, err_msg, err_tb)
                 )
+        for rid, output in outputs.items():
+            request = by_id.pop(rid, None)
+            if request is not None:
+                self.completed += 1
+                request.future.set_result(output)
+        for request in by_id.values():  # no verdict at all: treat as lost
+            self._retry_or_fail_locked(
+                request,
+                WorkerCrashed(
+                    f"worker {worker.id} returned no result for request"
+                    f" {request.id}"
+                ),
+            )
+
+    def _setup_rings_locked(self, worker: _Worker, inputs: List) -> None:
+        """Create this worker's rings and start the attach handshake.
+
+        Slot capacity is sized from the batch's shape signature: one
+        request's frame (its unique tensors, shared weights included)
+        times ``batch_max``, with alignment slack.  Ring creation
+        failure marks the worker's transport broken — it serves over
+        the pipe for the rest of its incarnation.
+        """
+        if worker.out_nbytes is None or not inputs:
             return
+        probe = shm_transport.plan_frame(inputs[:1])
+        if probe is None:
+            return  # not tensor traffic; stay on the pipe for now
+        slack = 64 * (self.batch_max + 4)
+        req_bytes = probe.length * self.batch_max + slack
+        resp_bytes = worker.out_nbytes * self.batch_max + slack
+        try:
+            worker.req_ring = shm_transport.ShmRing.create(
+                self._RING_SLOTS, req_bytes
+            )
+            worker.resp_ring = shm_transport.ShmRing.create(
+                self._RING_SLOTS, resp_bytes
+            )
+            worker.conn.send(
+                ("attach", worker.req_ring.spec, worker.resp_ring.spec)
+            )
+        except (shm_transport.ShmUnavailable, BrokenPipeError, OSError):
+            self._destroy_rings(worker)
+            worker.shm_state = "broken"
+            self.shm_fallbacks += 1
+            return
+        worker.shm_state = "pending"
+
+    def _send_batch_locked(self, worker: _Worker, batch: _Batch) -> bool:
+        """Dispatch one batch, choosing the data plane.
+
+        Shared memory when the worker's rings are up and the frame
+        fits; the pipe otherwise (whole batch as one message, so
+        intra-batch array identity — shared weights — survives
+        pickling).  Returns ``False`` when the worker's pipe is dead.
+        """
+        rids = [request.id for request in batch.requests]
+        inputs = [request.inputs for request in batch.requests]
+        if self.transport != "pipe" and worker.shm_state != "broken":
+            if worker.req_ring is None and worker.shm_state == "none":
+                self._setup_rings_locked(worker, inputs)
+            if worker.shm_state == "ready":
+                plan = shm_transport.plan_frame(inputs)
+                slot = None
+                if plan is not None:
+                    slot = shm_transport.write_frame(worker.req_ring, plan)
+                if slot is not None:
+                    try:
+                        worker.conn.send(("reqs_shm", slot, rids, plan.meta))
+                    except (BrokenPipeError, OSError):
+                        return False  # reap (next pass) frees the rings
+                    self.shm_batches += 1
+                    self.shm_requests += len(rids)
+                    return True
+                self.shm_fallbacks += 1
+        try:
+            worker.conn.send(("reqs", list(zip(rids, inputs))))
+        except (BrokenPipeError, OSError):
+            return False
+        self.pipe_batches += 1
+        self.pipe_payloads += len(rids)
+        return True
 
     def _dispatch_locked(self, now: float) -> None:
         idle = [
             worker
             for worker in self._workers.values()
             if worker.ready
-            and worker.request is None
+            and worker.batch is None
             and worker.process.is_alive()
         ]
-        deferred: List[_Request] = []
+        deferred: List[_Batch] = []
         while idle and self._queue:
-            request = self._queue.popleft()
-            if request.not_before > now:
-                deferred.append(request)
+            batch = self._queue.popleft()
+            if batch.not_before > now:
+                deferred.append(batch)
                 continue
             worker = idle.pop()
-            request.attempts += 1
-            try:
-                worker.conn.send(("req", request.id, request.inputs))
-            except (BrokenPipeError, OSError):
+            for request in batch.requests:
+                request.attempts += 1
+            if not self._send_batch_locked(worker, batch):
                 # worker died between poll and dispatch; the reap below
                 # (next loop pass) restarts it — requeue undispatched
-                request.attempts -= 1
-                deferred.append(request)
+                for request in batch.requests:
+                    request.attempts -= 1
+                deferred.append(batch)
                 continue
-            worker.request = request
+            worker.batch = batch
             worker.dispatched_at = now
-        for request in deferred:
-            self._queue.appendleft(request)
+        for batch in deferred:
+            self._queue.appendleft(batch)
 
     def _supervise(self) -> None:
         while True:
@@ -655,17 +1022,19 @@ class WorkerPool:
                             "crashes",
                         )
                         continue
-                    request = worker.request
+                    batch = worker.batch
+                    batch_deadline = (
+                        batch.deadline if batch is not None else None
+                    )
                     if (
-                        request is not None
-                        and request.deadline is not None
-                        and now - worker.dispatched_at > request.deadline
+                        batch_deadline is not None
+                        and now - worker.dispatched_at > batch_deadline
                     ):
                         self._reap_locked(
                             worker,
                             DeadlineExceeded(
-                                f"request {request.id} exceeded its"
-                                f" {request.deadline:.3f}s deadline on"
+                                f"batch of {len(batch.requests)} exceeded"
+                                f" its {batch_deadline:.3f}s deadline on"
                                 f" worker {worker.id}"
                             ),
                             "deadline_kills",
@@ -686,7 +1055,7 @@ class WorkerPool:
                     self._closed
                     and not self._queue
                     and not any(
-                        worker.request for worker in self._workers.values()
+                        worker.batch for worker in self._workers.values()
                     )
                 ):
                     workers = list(self._workers.values())
@@ -720,6 +1089,7 @@ class WorkerPool:
                 worker.conn.close()
             except OSError:  # pragma: no cover
                 pass
+            self._destroy_rings(worker)
         self._drained.set()
 
     def __repr__(self) -> str:

@@ -223,6 +223,268 @@ class TestFromNumpyZeroCopyPredicate:
             )
 
 
+class TestShmRingProtocol:
+    """Seqlock slot handoff on the shared-memory ring: any writer/
+    reader interleaving delivers exact bytes in FIFO order, slot
+    exhaustion is backpressure (never an overwrite), wraparound is
+    invisible, and a torn or corrupted frame is rejected — never
+    silently served."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(st.sampled_from(["write", "read"]), max_size=60),
+        slots=st.integers(1, 4),
+        seed=st.integers(0, 999),
+    )
+    def test_random_interleavings_deliver_exact_fifo_bytes(
+        self, ops, slots, seed
+    ):
+        from repro.service.shm import ShmRing
+
+        rng = np.random.default_rng(seed)
+        ring = ShmRing.create(slots=slots, slot_bytes=256)
+        try:
+            published = []  # (slot, payload) in publish order
+            writes = 0
+            for op in ops:
+                if op == "write":
+                    slot = ring.try_claim()
+                    if slot is None:
+                        # backpressure exactly when every slot is held
+                        assert len(published) >= 0
+                        assert ring.stats()["full_events"] >= 1
+                        continue
+                    length = int(rng.integers(1, ring.slot_bytes + 1))
+                    payload = rng.integers(
+                        0, 256, length, dtype=np.uint8
+                    )
+                    ring.payload(slot)[:length] = payload
+                    ring.publish(slot, length)
+                    published.append((slot, payload))
+                    writes += 1
+                elif published:
+                    slot, payload = published.pop(0)
+                    view = ring.read(slot)
+                    np.testing.assert_array_equal(view, payload)
+                    del view  # zero-copy: release only after last use
+                    ring.release(slot)
+            # drain: everything still published reads back intact
+            for slot, payload in published:
+                np.testing.assert_array_equal(ring.read(slot), payload)
+                ring.release(slot)
+            assert ring.stats()["writes"] == writes
+            assert ring.stats()["corruptions"] == 0
+        finally:
+            ring.destroy()
+
+    @settings(max_examples=15, deadline=None)
+    @given(slots=st.integers(1, 3))
+    def test_slot_exhaustion_backpressures_until_release(self, slots):
+        from repro.service.shm import ShmRing
+
+        ring = ShmRing.create(slots=slots, slot_bytes=64)
+        try:
+            claimed = [ring.try_claim() for _ in range(slots)]
+            assert None not in claimed
+            assert ring.try_claim() is None  # full: backpressure
+            for slot in claimed:
+                ring.publish(slot, 8)
+            assert ring.try_claim() is None  # READY still occupies
+            ring.read(claimed[0])
+            assert ring.try_claim() is None  # READING still occupies
+            ring.release(claimed[0])
+            assert ring.try_claim() == claimed[0]  # freed slot reusable
+        finally:
+            ring.destroy()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 999), offset=st.integers(0, 63))
+    def test_checksummed_frames_reject_corruption(self, seed, offset):
+        from repro.service.shm import ShmCorruption, ShmRing
+
+        rng = np.random.default_rng(seed)
+        ring = ShmRing.create(slots=2, slot_bytes=64)
+        try:
+            slot = ring.try_claim()
+            payload = rng.integers(0, 256, 64, dtype=np.uint8)
+            ring.payload(slot)[:] = payload
+            ring.publish(slot, 64)
+            # scribble over the published frame behind the seqlock
+            ring.payload(slot)[offset] ^= 0xFF
+            with np.testing.assert_raises(ShmCorruption):
+                ring.read(slot)
+            assert ring.stats()["corruptions"] == 1
+        finally:
+            ring.destroy()
+
+    def test_reader_crash_mid_slot_is_reclaimed(self):
+        """A reader that dies between ``read`` and ``release`` (here:
+        an injected fault at the ``shm.read`` seam) strands its slot;
+        the writer's ``reclaim`` frees every stranded slot so the ring
+        survives the reader's replacement."""
+        from repro.service import faults
+        from repro.service.faults import FaultPlan, FaultSpec
+        from repro.service.shm import ShmRing
+
+        ring = ShmRing.create(slots=2, slot_bytes=64)
+        try:
+            for slot in (0, 1):
+                claimed = ring.try_claim()
+                ring.payload(claimed)[:8] = np.arange(8, dtype=np.uint8)
+                ring.publish(claimed, 8)
+            plan = FaultPlan(
+                specs=[
+                    FaultSpec(
+                        "raise-in-kernel", site="shm.read", visits=(0,)
+                    )
+                ]
+            )
+            with faults.active(plan):
+                with np.testing.assert_raises(Exception):
+                    ring.read(0)  # the reader "crashes" mid-slot
+            ring.read(1)  # second slot held in READING, never released
+            assert ring.try_claim() is None  # both slots stranded
+            assert ring.reclaim() == 2
+            assert ring.try_claim() is not None
+            assert ring.stats()["reclaims"] == 2
+        finally:
+            ring.destroy()
+
+    def test_corrupt_shm_slot_fault_kind_is_rejected_by_checksum(self):
+        """The ``corrupt-shm-slot`` FaultPlan kind flips bytes of the
+        mapped frame between the seqlock check and the CRC check —
+        checksummed rings must reject it, and a checksum-free ring
+        documents why the CRC is on by default (garbage is served)."""
+        from repro.service import faults
+        from repro.service.faults import FaultPlan, FaultSpec
+        from repro.service.shm import ShmCorruption, ShmRing
+
+        payload = np.arange(64, dtype=np.uint8)
+        plan = FaultPlan(
+            seed=9, specs=[FaultSpec("corrupt-shm-slot", visits=(0,))]
+        )
+        ring = ShmRing.create(slots=2, slot_bytes=64, checksum=True)
+        try:
+            slot = ring.try_claim()
+            ring.payload(slot)[:] = payload
+            ring.publish(slot, 64)
+            with faults.active(plan):
+                with np.testing.assert_raises(ShmCorruption):
+                    ring.read(slot)
+            ring.release(slot)
+            # a fresh frame (the retry) reads back exactly
+            slot = ring.try_claim()
+            ring.payload(slot)[:] = payload
+            ring.publish(slot, 64)
+            np.testing.assert_array_equal(ring.read(slot), payload)
+            ring.release(slot)
+        finally:
+            ring.destroy()
+        unchecked = ShmRing.create(slots=2, slot_bytes=64, checksum=False)
+        try:
+            slot = unchecked.try_claim()
+            unchecked.payload(slot)[:] = payload
+            unchecked.publish(slot, 64)
+            with faults.active(
+                FaultPlan(
+                    seed=9,
+                    specs=[FaultSpec("corrupt-shm-slot", visits=(0,))],
+                )
+            ):
+                served = unchecked.read(slot).copy()
+            assert not np.array_equal(served, payload)  # garbage served
+        finally:
+            unchecked.destroy()
+
+
+class TestFrameCodecRoundtrip:
+    """The tensor frame codec: any batch of name->array dicts survives
+    plan/write/read bit for bit, shared arrays stay *one* tensor in
+    the frame and come back as one shared view object, and traffic the
+    codec cannot carry is declined (pipe fallback), never mangled."""
+
+    _DTYPES = ["<f4", "<f8", "<i4", "<i8", "<u1"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 5),
+        names=st.integers(1, 3),
+        dtype=st.sampled_from(_DTYPES),
+        share=st.booleans(),
+        seed=st.integers(0, 999),
+    )
+    def test_plan_write_read_roundtrip(
+        self, batch, names, dtype, share, seed
+    ):
+        from repro.service.shm import (
+            ShmRing,
+            plan_frame,
+            read_frame,
+            write_frame,
+        )
+
+        rng = np.random.default_rng(seed)
+        shared = (rng.standard_normal(6) * 10).astype(dtype)
+        requests = []
+        for _ in range(batch):
+            request = {}
+            for position in range(names):
+                if share and position == names - 1:
+                    request[f"t{position}"] = shared  # same object
+                else:
+                    request[f"t{position}"] = (
+                        rng.standard_normal((2, 3)) * 10
+                    ).astype(dtype)
+            requests.append(request)
+        plan = plan_frame(requests)
+        assert plan is not None
+        if share and batch > 1:
+            # the shared array is stored once, not ``batch`` times
+            assert len(plan.sources) < batch * names + 1
+        ring = ShmRing.create(slots=2, slot_bytes=max(plan.length, 64))
+        try:
+            slot = write_frame(ring, plan)
+            assert slot is not None
+            unpacked = read_frame(ring, slot, plan.meta)
+            assert len(unpacked) == batch
+            for original, roundtrip in zip(requests, unpacked):
+                for name, array in original.items():
+                    np.testing.assert_array_equal(
+                        roundtrip[name], array
+                    )
+                    assert not roundtrip[name].flags.writeable
+            if share and batch > 1:
+                first = unpacked[0][f"t{names - 1}"]
+                assert all(
+                    request[f"t{names - 1}"] is first
+                    for request in unpacked
+                )
+                del first
+            del unpacked  # zero-copy views must die before destroy()
+        finally:
+            ring.destroy()
+
+    def test_unfit_traffic_is_declined_not_mangled(self):
+        from repro.service.shm import ShmRing, plan_frame, write_frame
+
+        assert plan_frame([None]) is None  # not a dict
+        assert plan_frame([{1: np.zeros(2)}]) is None  # non-str key
+        assert plan_frame([{"x": "nope"}]) is None  # not an array
+        assert (
+            plan_frame([{"x": np.array([object()])}]) is None
+        )  # object dtype
+        oversized = plan_frame([{"x": np.zeros(1024, dtype=np.uint8)}])
+        assert oversized is not None
+        ring = ShmRing.create(slots=1, slot_bytes=64)
+        try:
+            assert write_frame(ring, oversized) is None  # too big
+            small = plan_frame([{"x": np.zeros(8, dtype=np.uint8)}])
+            assert write_frame(ring, small) is not None
+            assert write_frame(ring, small) is None  # ring full
+        finally:
+            ring.destroy()
+
+
 class TestShuffleMemoIsolation:
     """The arena's shuffle-operand memo keys on weight *values*: two
     requests with different weights must never share a memo entry, and

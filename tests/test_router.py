@@ -1,0 +1,329 @@
+"""Differential serving-parity suite for the micro-batching router.
+
+The gate for the shared-memory transport + router stack: a mixed
+stream of requests served through ``Router`` -> shm rings ->
+batch-axis workers must be **bitwise identical** to running every
+request one at a time through ``CompiledPipeline.run`` in the same
+process — on both backends, in submission order, and while the
+fault-injection harness crashes workers mid-bucket or corrupts
+shared-memory frames under the read path.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import SIMPLE_APPS, build_requests
+from repro.runtime.executor import RequestError
+from repro.service import CompileJob
+from repro.service.faults import FaultPlan, FaultSpec
+from repro.service.router import Router, job_fingerprint, shape_signature
+from repro.service.serve import RejectedError, ServerClosed
+from repro.service.shm import available as shm_available
+from repro.service.supervisor import RemoteError, WorkerPool
+
+pytestmark = pytest.mark.router
+
+#: the cuda variants skip equality saturation, so workers start fast
+JOBS = [
+    CompileJob.make(
+        module.__name__.split(".")[-1], "cuda", **params
+    )
+    for module, params in SIMPLE_APPS
+]
+#: a second conv1d shape so one app contributes two distinct buckets
+EXTRA_SHAPE_JOB = CompileJob.make("conv1d", "cuda", taps=8, rows=1)
+
+FAST_JOB = EXTRA_SHAPE_JOB  # smallest/fastest worker init of the set
+
+BACKENDS = ["compile", "interpret"]
+
+
+def _reference_outputs(job, requests, backend):
+    """Per-request single-process ``CompiledPipeline.run`` outputs."""
+    app = job.build_app()
+    app.backend = backend
+    pipeline = app.compile()
+    return [pipeline.run(request) for request in requests]
+
+
+def _mixed_stream(jobs, per_app, rng):
+    """An interleaved mixed-shape stream: request ``i`` of every app,
+    then request ``i+1`` of every app, ... — adjacent requests never
+    share an app or a shape signature."""
+    per_job = {}
+    for job in jobs:
+        app = job.build_app()
+        per_job[job] = build_requests(app, per_app, rng)
+    stream = []
+    for index in range(per_app):
+        for job in jobs:
+            stream.append((job, per_job[job][index]))
+    return per_job, stream
+
+
+class TestDifferentialParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_stream_bitwise_identical(self, backend, rng):
+        """Every fig-6 app, mixed into one stream, twice over (the
+        second round rides the warmed shared-memory path): routed
+        results equal per-request execution bit for bit, in
+        submission order."""
+        jobs = JOBS + [EXTRA_SHAPE_JOB]
+        per_job, stream = _mixed_stream(jobs, 3, rng)
+        expected = {
+            job_fingerprint(job): _reference_outputs(
+                job, requests, backend
+            )
+            for job, requests in per_job.items()
+        }
+        with Router(
+            jobs, workers=1, backend=backend, max_batch=4
+        ) as router:
+            for round_index in range(2):
+                futures = [
+                    (job_fingerprint(job), router.submit(job, inputs))
+                    for job, inputs in stream
+                ]
+                seen = {}
+                for key, future in futures:
+                    position = seen.get(key, 0)
+                    seen[key] = position + 1
+                    np.testing.assert_array_equal(
+                        future.result(timeout=120), expected[key][position]
+                    )
+            stats = router.stats()
+        assert stats["completed"] == 2 * len(stream)
+        assert stats["failed"] == 0
+        # every app formed its own bucket; the extra conv1d shape too
+        assert len(stats["buckets"]) == len(jobs)
+        if backend == "compile" and shm_available():
+            shm_requests = sum(
+                pool["transport"]["shm_requests"]
+                for pool in stats["pools"].values()
+            )
+            assert shm_requests > 0, "warmed stream never rode shm"
+
+    def test_results_arrive_in_submission_order(self, rng):
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 10, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        with Router([FAST_JOB], workers=2, max_batch=4) as router:
+            results = router.run_many(FAST_JOB, requests)
+        for result, reference in zip(results, expected):
+            np.testing.assert_array_equal(result, reference)
+
+
+class TestFaultedParity:
+    def test_worker_crash_mid_bucket_is_bitwise_transparent(self, rng):
+        """The acceptance scenario: a worker killed mid-bucket, the
+        bucket's requests retried onto the respawned worker, results
+        still bit-identical and in order."""
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 8, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        plan = FaultPlan(
+            seed=11,
+            specs=[
+                FaultSpec(
+                    "kill-worker", visits=(0,), scope={"incarnation": 0}
+                )
+            ],
+        )
+        with Router(
+            [FAST_JOB],
+            workers=2,
+            max_batch=4,
+            fault_plan=plan,
+            retries=3,
+        ) as router:
+            results = router.run_many(FAST_JOB, requests)
+            stats = router.stats()
+        for result, reference in zip(results, expected):
+            np.testing.assert_array_equal(result, reference)
+        pool_stats = next(iter(stats["pools"].values()))
+        assert pool_stats["crashes"] >= 1
+        assert pool_stats["restarts"] >= 1
+        assert stats["failed"] == 0
+
+    @pytest.mark.skipif(
+        not shm_available(), reason="host cannot back shared memory"
+    )
+    def test_corrupted_shm_frame_is_rejected_and_retried(self, rng):
+        """An injected shm-slot corruption under the worker's read
+        path: the checksummed frame is rejected, the requests retried
+        on a fresh frame, and the served bytes stay identical."""
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 6, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        plan = FaultPlan(
+            seed=5,
+            specs=[FaultSpec("corrupt-shm-slot", visits=(0,))],
+        )
+        with Router(
+            [FAST_JOB],
+            workers=1,
+            max_batch=4,
+            fault_plan=plan,
+            retries=3,
+            transport="shm",
+        ) as router:
+            # two rounds: round 1 warms the ring handshake, round 2
+            # rides shm and trips the injected corruption
+            for _ in range(2):
+                results = router.run_many(FAST_JOB, requests)
+                for result, reference in zip(results, expected):
+                    np.testing.assert_array_equal(result, reference)
+            stats = router.stats()
+        pool_stats = next(iter(stats["pools"].values()))
+        transport = pool_stats["transport"]
+        assert transport["shm_corruptions"] >= 1
+        assert transport["shm_batches"] >= 1
+        assert stats["failed"] == 0
+
+
+class TestTracebackPreservation:
+    def test_run_many_on_error_return_preserves_worker_traceback(
+        self, rng
+    ):
+        """Regression: a request failing *inside* a worker-side batch
+        must surface its own original traceback through the shm
+        transport — the same exception type a local run raises, with
+        the worker-side traceback text attached."""
+        app = FAST_JOB.build_app()
+        app.backend = "compile"
+        pipeline = app.compile()
+        requests = build_requests(app, 5, rng)
+        poisoned = dict(requests[2])
+        first_key = sorted(poisoned)[0]
+        poisoned[first_key] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(Exception) as local:
+            pipeline.run(poisoned)
+        local_kind = type(local.value).__name__
+
+        batch = requests[:2] + [poisoned] + requests[3:]
+        with WorkerPool(FAST_JOB, workers=1, retries=0) as pool:
+            # warm the ring handshake so the batch below rides shm
+            pool.run(requests[0])
+            before = pool.stats()["transport"]["shm_batches"]
+            futures = pool.submit_many(batch)
+            results = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout=120))
+                except Exception as exc:
+                    results.append(RequestError(index, exc))
+            after = pool.stats()["transport"]["shm_batches"]
+        if shm_available():
+            assert after > before, "batch did not ride the shm path"
+        assert isinstance(results[2], RequestError)
+        remote = results[2].original
+        assert isinstance(remote, RemoteError)
+        assert remote.kind == local_kind
+        assert "Traceback (most recent call last)" in (
+            remote.remote_traceback
+        )
+        assert local_kind in remote.remote_traceback
+        for index in (0, 1, 3, 4):
+            np.testing.assert_array_equal(
+                results[index], pipeline.run(batch[index])
+            )
+
+    def test_router_isolates_poisoned_request(self, rng):
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 4, rng)
+        poisoned = dict(requests[1])
+        first_key = sorted(poisoned)[0]
+        poisoned[first_key] = np.zeros((2, 2), dtype=np.float32)
+        batch = [requests[0], poisoned, requests[2], requests[3]]
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        with Router([FAST_JOB], workers=1, retries=0) as router:
+            results = router.run_many(
+                FAST_JOB, batch, on_error="return"
+            )
+        assert isinstance(results[1], RequestError)
+        assert results[1].index == 1
+        np.testing.assert_array_equal(results[0], expected[0])
+        np.testing.assert_array_equal(results[2], expected[2])
+        np.testing.assert_array_equal(results[3], expected[3])
+
+
+class TestAdmissionAndLifecycle:
+    def test_backpressure_rejects_beyond_max_pending(self, rng):
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 3, rng)
+        with Router(
+            [FAST_JOB],
+            workers=1,
+            max_batch=16,
+            flush_interval=0.5,
+            max_pending=2,
+        ) as router:
+            first = router.submit(FAST_JOB, requests[0])
+            second = router.submit(FAST_JOB, requests[1])
+            with pytest.raises(RejectedError):
+                router.submit(FAST_JOB, requests[2])
+            first.result(timeout=120)
+            second.result(timeout=120)
+            stats = router.stats()
+        assert stats["rejected"] >= 1
+        assert any(b["rejected"] >= 1 for b in stats["buckets"])
+
+    def test_close_is_idempotent_and_rejects_new_work(self, rng):
+        app = FAST_JOB.build_app()
+        request = build_requests(app, 1, rng)[0]
+        router = Router([FAST_JOB], workers=1)
+        router.run(FAST_JOB, request)
+        router.close()
+        router.close()
+        with pytest.raises(ServerClosed):
+            router.submit(FAST_JOB, request)
+        assert router.stats()["closed"] is True
+
+    def test_unknown_job_is_a_typed_error(self, rng):
+        with Router([FAST_JOB], workers=1) as router:
+            with pytest.raises(KeyError):
+                router.submit(
+                    CompileJob.make("conv1d", "cuda", taps=4, rows=1), None
+                )
+
+    def test_pipe_transport_serves_identically(self, rng):
+        """Fallback matrix row: shared memory disabled outright, the
+        pipe path alone still serves bit-identical results."""
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 6, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        with Router(
+            [FAST_JOB], workers=1, transport="pipe"
+        ) as router:
+            results = router.run_many(FAST_JOB, requests)
+            stats = router.stats()
+        for result, reference in zip(results, expected):
+            np.testing.assert_array_equal(result, reference)
+        transport = next(iter(stats["pools"].values()))["transport"]
+        assert transport["mode"] == "pipe"
+        assert transport["shm_batches"] == 0
+        assert transport["pipe_payloads"] >= len(requests)
+
+
+class TestStats:
+    def test_per_bucket_latency_and_throughput(self, rng):
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 8, rng)
+        with Router(
+            [FAST_JOB], workers=1, max_batch=4, flush_interval=0.05
+        ) as router:
+            router.run_many(FAST_JOB, requests)
+            stats = router.stats()
+        assert stats["submitted"] == len(requests)
+        assert stats["completed"] == len(requests)
+        (bucket,) = stats["buckets"]
+        assert bucket["signature"] == shape_signature(requests[0])
+        assert bucket["flushes"] >= 1
+        assert bucket["largest_flush"] >= 2  # micro-batching engaged
+        assert bucket["p50_ms"] is not None
+        assert bucket["p99_ms"] is not None
+        assert bucket["p50_ms"] <= bucket["p99_ms"]
+        assert bucket["throughput_rps"] and bucket["throughput_rps"] > 0
+        fingerprint = bucket["fingerprint"]
+        assert stats["jobs"][fingerprint] == FAST_JOB.label
+        assert stats["pools"][fingerprint]["completed"] == len(requests)

@@ -516,6 +516,184 @@ def mixed_shapes_race(
         )
 
 
+# -- overload (shed-not-collapse) gate ----------------------------------------
+
+#: conv1d kernel size for the overload run (fast worker start)
+OVERLOAD_TAPS = 8
+#: per-request latency budget (seconds) — the SLO goodput is measured
+#: against; a request that cannot meet it expires instead of occupying
+#: a worker
+OVERLOAD_BUDGET = 0.5
+#: requests submitted with an already-spent budget: they must expire
+#: before ever reaching a worker
+OVERLOAD_TINY = 10
+#: a budget this small is spent before the flusher can run
+TINY_BUDGET = 1e-6
+
+
+def _paced_round(router, job, warm, rate, duration, tiny_every=None):
+    """Offer an open-loop paced stream at ``rate`` req/s for
+    ``duration`` seconds; returns the per-class outcome counts.
+
+    Half interactive / half best-effort; every request carries the
+    ``OVERLOAD_BUDGET`` latency budget.  With ``tiny_every`` set,
+    every Nth request instead carries an already-spent budget (on the
+    interactive lane, so the shedder cannot drop it before the expiry
+    path runs).
+    """
+    from repro.service import DeadlineExceeded, ShedError
+    from repro.service.serve import RejectedError
+
+    interval = 1.0 / rate
+    shed_at_admission = 0
+    futures = []
+    tiny_futures = []
+    index = 0
+    start = time.perf_counter()
+    next_at = start
+    while time.perf_counter() - start < duration:
+        now = time.perf_counter()
+        if now < next_at:
+            time.sleep(min(next_at - now, 0.001))
+            continue
+        next_at += interval
+        index += 1
+        is_tiny = tiny_every is not None and index % tiny_every == 0
+        priority = (
+            "interactive" if is_tiny or index % 2 else "best-effort"
+        )
+        try:
+            future = router.submit(
+                job,
+                warm[index % len(warm)],
+                deadline=TINY_BUDGET if is_tiny else OVERLOAD_BUDGET,
+                priority=priority,
+            )
+        except (ShedError, RejectedError):
+            shed_at_admission += 1
+            continue
+        (tiny_futures if is_tiny else futures).append(future)
+    # resolve everything offered this round before measuring: goodput
+    # counts only requests that met their budget end to end
+    completed = expired = failed = 0
+    for future in futures:
+        error = future.exception(timeout=120)
+        if error is None:
+            completed += 1
+        elif isinstance(error, DeadlineExceeded):
+            expired += 1
+        else:
+            failed += 1
+    tiny_expired = sum(
+        1
+        for future in tiny_futures
+        if isinstance(future.exception(timeout=120), DeadlineExceeded)
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "offered": index,
+        "completed": completed,
+        "expired": expired,
+        "failed": failed,
+        "shed_at_admission": shed_at_admission,
+        "tiny": len(tiny_futures),
+        "tiny_expired": tiny_expired,
+        "goodput": completed / elapsed,
+        "elapsed": elapsed,
+    }
+
+
+def overload_race(smoke=False, workers=2):
+    """Shed-not-collapse: goodput at 2x offered load stays near capacity.
+
+    Capacity is the goodput of an open-loop paced round at a
+    sustainable rate (bootstrapped from a closed-loop run); the gate
+    round offers the same traffic at 2x that rate plus a cohort of
+    already-expired (tiny-budget) requests.  Asserted: adaptive
+    shedding keeps goodput within 20% of capacity (50% for
+    ``--smoke``), the shedder provably engaged, every tiny-budget
+    request expired, and no expired request ever occupied a worker
+    (zero deadline kills).
+    """
+    threshold = 0.5 if smoke else 0.8
+    duration = 1.0 if smoke else 2.0
+    print_header(
+        "Overload gate — open-loop 2x offered load vs. paced capacity,"
+        f" {workers} workers, CoDel-style shedding,"
+        f" {OVERLOAD_BUDGET:.2f}s budgets"
+    )
+    job = CompileJob.make("conv1d", "cuda", taps=OVERLOAD_TAPS, rows=1)
+    app = job.build_app()
+    warm = build_named_requests(app, 64, seed=31)
+    with Router(
+        [job],
+        workers=workers,
+        max_batch=4,
+        flush_interval=0.002,
+        shed_target=0.02,
+        shed_interval=0.05,
+        bucket_cap=64,
+    ) as router:
+        router.run_many(job, warm[:16])  # plans bind, shm handshakes
+        start = time.perf_counter()
+        router.run_many(job, warm)
+        bootstrap = len(warm) / (time.perf_counter() - start)
+
+        base = _paced_round(router, job, warm, bootstrap, duration)
+        capacity = base["goodput"]
+        before_shed = router.stats()["shed"]
+        gate = _paced_round(
+            router,
+            job,
+            warm,
+            2.0 * capacity,
+            duration,
+            tiny_every=max(1, int(duration * 2.0 * capacity) // OVERLOAD_TINY),
+        )
+        stats = router.stats()
+    shed = stats["shed"] - before_shed
+    (pool_stats,) = stats["pools"].values()
+    goodput = gate["goodput"]
+    print(
+        f"paced capacity: {capacity:.0f} req/s"
+        f" ({base['completed']}/{base['offered']} completed at the"
+        f" {bootstrap:.0f} req/s bootstrap rate)"
+    )
+    print(
+        f"2x round: offered {gate['offered']} at {2 * capacity:.0f}"
+        f" req/s over {gate['elapsed']:.2f}s -> goodput"
+        f" {goodput:.0f} req/s ({goodput / capacity:.0%} of capacity):"
+        f" {gate['completed']} completed, {gate['expired']} expired,"
+        f" {shed} shed ({gate['shed_at_admission']} at admission),"
+        f" {gate['failed']} failed,"
+        f" tiny-budget {gate['tiny_expired']}/{gate['tiny']} expired"
+    )
+    assert gate["failed"] == 0, (
+        f"{gate['failed']} requests failed outright under overload"
+    )
+    assert gate["tiny"] and gate["tiny_expired"] == gate["tiny"], (
+        f"only {gate['tiny_expired']}/{gate['tiny']} already-expired"
+        " requests failed fast with DeadlineExceeded"
+    )
+    assert pool_stats["deadline_kills"] == 0, (
+        f"{pool_stats['deadline_kills']} expired batches occupied a"
+        " worker — expiry must happen before dispatch"
+    )
+    assert shed >= 1, (
+        "2x offered load never engaged the shedder — overload control"
+        " is not doing anything"
+    )
+    assert goodput >= threshold * capacity, (
+        f"goodput collapsed under 2x load: {goodput:.0f} req/s is"
+        f" {goodput / capacity:.0%} of the {capacity:.0f} req/s"
+        f" capacity (need >= {threshold:.0%})"
+    )
+    print(
+        f"overload gate ok: goodput held at {goodput / capacity:.0%}"
+        " of capacity under 2x offered load"
+    )
+
+
 def report_batch_axis(results, workers):
     print_header(
         "Batch-axis kernel — one stacked kernel call per bucket vs."
@@ -610,7 +788,18 @@ def main() -> int:
         help="worker processes per bucketed pool for the"
         " --mixed-shapes race (default 2)",
     )
+    parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="shed-not-collapse gate: goodput at 2x offered load stays"
+        " near closed-loop capacity while expired requests never"
+        " occupy a worker; with --smoke uses a shorter run and a"
+        " laxer goodput floor (CI-safe)",
+    )
     args = parser.parse_args()
+    if args.overload:
+        overload_race(smoke=args.smoke)
+        return 0
     if args.mixed_shapes:
         if args.smoke:
             mixed_shapes_smoke()

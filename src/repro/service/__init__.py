@@ -33,6 +33,10 @@ top of the compiler:
 * :mod:`.faults` — the deterministic fault-injection harness
   (:class:`FaultPlan`) and the :class:`CircuitBreaker` primitive the
   serving tier degrades with.
+* :mod:`.chaos` — the seeded chaos-soak harness: random fault
+  compositions against long mixed workloads, checked against the
+  lifecycle invariants (exactly-one terminal outcome, bitwise parity,
+  at-most-once, stats conservation, clean teardown).
 
 Quick tour::
 
@@ -61,7 +65,7 @@ from .fingerprint import (
     ruleset_fingerprint,
 )
 from .faults import CircuitBreaker, FaultPlan, FaultSpec, InjectedFault
-from .serve import RejectedError, Server, ServerClosed
+from .serve import RejectedError, Server, ServerClosed, ShedError
 from .store import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactStore,
@@ -69,13 +73,21 @@ from .store import (
     StoreStats,
 )
 from .router import Router, job_fingerprint, shape_signature
-from .shm import ShmCorruption, ShmRing, ShmRingSpec, ShmUnavailable
+from .shm import (
+    ShmCorruption,
+    ShmRing,
+    ShmRingSpec,
+    ShmUnavailable,
+    leaked_segments,
+)
 from .supervisor import (
     DeadlineExceeded,
     RemoteError,
     WorkerCrashed,
+    WorkerInitFailed,
     WorkerPool,
 )
+from .chaos import SoakReport, random_fault_plan, run_soak
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -96,20 +108,26 @@ __all__ = [
     "Router",
     "Server",
     "ServerClosed",
+    "ShedError",
     "ShmCorruption",
     "ShmRing",
     "ShmRingSpec",
     "ShmUnavailable",
+    "SoakReport",
     "StoreStats",
     "WarmCompileResult",
     "WorkerCrashed",
+    "WorkerInitFailed",
     "WorkerPool",
     "compile_lowered",
     "compile_one",
     "fingerprint_families",
     "job_fingerprint",
+    "leaked_segments",
+    "random_fault_plan",
     "rule_fingerprint",
     "ruleset_fingerprint",
+    "run_soak",
     "shape_signature",
     "warm_compile",
     "warm_select",

@@ -154,6 +154,22 @@ class FaultSpec:
             return self.seconds
         return DEFAULT_SECONDS.get(self.mode, 0.05)
 
+    @property
+    def label(self) -> str:
+        """A compact one-line description for soak reports and logs."""
+        bits = [f"{self.mode}@{self.resolved_site}"]
+        if self.visits is not None:
+            bits.append(f"visits={list(self.visits)}")
+        else:
+            bits.append(f"rate={self.rate:g}")
+        if self.max_fires is not None:
+            bits.append(f"max_fires={self.max_fires}")
+        if self.mode in DEFAULT_SECONDS:
+            bits.append(f"seconds={self.resolved_seconds:g}")
+        if self.scope:
+            bits.append(f"scope={self.scope}")
+        return " ".join(bits)
+
 
 class FaultPlan:
     """A seeded, reproducible set of :class:`FaultSpec` injections.

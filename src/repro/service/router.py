@@ -16,14 +16,34 @@ piece that turns the mixed stream into that shape:
   as one :meth:`~repro.service.supervisor.WorkerPool.submit_many`
   batch — one batch-axis kernel call per serving bucket, tensors over
   shared memory;
-* **admission control** bounds the total of queued + in-flight
-  requests; beyond ``max_pending`` a submit raises the same
-  :class:`~repro.service.serve.RejectedError` the thread-pool
-  :class:`~repro.service.serve.Server` uses, so callers shed load the
-  same way on either front end;
+* every request carries a wall-clock **deadline budget** measured from
+  submission: queue wait, bucket flush, pool dispatch, and worker
+  execution all decrement the same budget, and a request whose budget
+  expires while still bucketed (or still queued in the pool) fails
+  fast with :class:`~repro.service.supervisor.DeadlineExceeded`
+  without ever occupying a worker;
+* **admission control** is layered: the static ``max_pending`` bound
+  (same :class:`~repro.service.serve.RejectedError` contract as the
+  thread-pool :class:`~repro.service.serve.Server`), a per-bucket
+  depth cap, and CoDel-style queue-sojourn shedding — when a bucket's
+  head-of-queue wait stays over ``shed_target`` for ``shed_interval``,
+  incoming best-effort traffic is shed with a typed
+  :class:`~repro.service.serve.ShedError` until the queue decongests.
+  Two priority lanes (``"interactive"`` / ``"best-effort"``) keep
+  interactive goodput near capacity under sustained overload:
+  interactive arrivals may evict the newest queued best-effort entry
+  when the bucket is full, and interactive entries always flush first;
 * per-bucket **p50/p99 latency and throughput** ride
   :meth:`Router.stats`, shaped alongside ``Server.stats`` /
   ``WorkerPool.stats`` so dashboards read all three the same way.
+
+Lifecycle verbs: :meth:`Router.drain` stops admission, flushes every
+bucket, and completes all in-flight work before closing (outstanding
+futures always reach a terminal state); :meth:`Router.close` drains
+with a timeout and then turns forceful, failing whatever is left with
+:class:`~repro.service.serve.ServerClosed`;
+:meth:`Router.rolling_restart` replaces every pool's workers one at a
+time with zero dropped requests.
 
 Lock discipline: the router's ``_mu`` is always *inner* — completion
 callbacks fire under a pool's ``_mu`` and then take ``_mu``, so no
@@ -45,8 +65,8 @@ import numpy as np
 from ..runtime.executor import RequestError
 from .batch import CompileJob
 from .faults import FaultPlan
-from .serve import RejectedError, ServerClosed
-from .supervisor import WorkerPool
+from .serve import RejectedError, ServerClosed, ShedError
+from .supervisor import DeadlineExceeded, WorkerPool
 
 __all__ = ["Router", "job_fingerprint", "shape_signature"]
 
@@ -76,50 +96,87 @@ def shape_signature(inputs: Optional[dict]) -> tuple:
 class _Entry:
     """One queued request: the caller's future plus flush metadata."""
 
-    __slots__ = ("future", "inputs", "deadline", "idempotent", "queued_at")
+    __slots__ = (
+        "future",
+        "inputs",
+        "expires_at",
+        "idempotent",
+        "queued_at",
+        "lane",
+    )
 
-    def __init__(self, inputs, deadline, idempotent, queued_at):
+    def __init__(self, inputs, expires_at, idempotent, queued_at, lane):
         self.future: "Future[np.ndarray]" = Future()
         self.inputs = inputs
-        self.deadline = deadline
+        self.expires_at = expires_at  # absolute monotonic expiry, or None
         self.idempotent = idempotent
         self.queued_at = queued_at
+        self.lane = lane  # 0 = interactive, 1 = best-effort
 
 
 class _Bucket:
     """One ``(fingerprint, shape signature, backend)`` serving bucket.
 
-    All mutable state is guarded by the router's ``_mu``.
+    All mutable state is guarded by the router's ``_mu``.  The queue is
+    two priority lanes — interactive entries flush first and may evict
+    queued best-effort entries when the bucket is at its depth cap.
     """
 
     __slots__ = (
         "key",
         "job_key",
-        "queue",
+        "lanes",
         "latencies",
         "submitted",
         "completed",
         "failed",
         "rejected",
+        "shed",
+        "expired",
         "flushes",
         "largest_flush",
         "first_submit",
         "last_done",
+        "above_since",
+        "shedding",
     )
 
     def __init__(self, key: tuple, job_key: str, window: int) -> None:
         self.key = key
         self.job_key = job_key
-        self.queue: Deque[_Entry] = deque()
+        self.lanes: Tuple[Deque[_Entry], Deque[_Entry]] = (deque(), deque())
         self.latencies: Deque[float] = deque(maxlen=window)
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        self.shed = 0
+        self.expired = 0
         self.flushes = 0
         self.largest_flush = 0
         self.first_submit: Optional[float] = None
         self.last_done: Optional[float] = None
+        self.above_since: Optional[float] = None  # CoDel: first over-target
+        self.shedding = False  # CoDel: shedding best-effort arrivals
+
+    def qlen(self) -> int:
+        return len(self.lanes[0]) + len(self.lanes[1])
+
+    def head_queued_at(self) -> Optional[float]:
+        """Arrival time of the oldest queued entry across both lanes."""
+        heads = [lane[0].queued_at for lane in self.lanes if lane]
+        return min(heads) if heads else None
+
+    def take(self, limit: int) -> List[_Entry]:
+        """Pop up to ``limit`` entries for dispatch, interactive first,
+        FIFO within each lane."""
+        taken: List[_Entry] = []
+        for lane in self.lanes:
+            while lane and len(taken) < limit:
+                taken.append(lane.popleft())
+            if len(taken) >= limit:
+                break
+        return taken
 
 
 class Router:
@@ -146,13 +203,43 @@ class Router:
         Admission bound on queued + in-flight requests across the
         whole router; beyond it :meth:`submit` raises
         :class:`~repro.service.serve.RejectedError`.
-    transport / fault_plan / deadline / retries / heartbeat_interval /
+    deadline:
+        Default per-request wall-clock budget (seconds) measured from
+        submission; ``None`` disables.  Overridable per :meth:`submit`.
+        The budget counts router queue wait, flush, pool dispatch, and
+        worker execution; an expired request fails fast with
+        :class:`~repro.service.supervisor.DeadlineExceeded` and never
+        occupies a worker.
+    bucket_cap:
+        Per-bucket queue-depth cap.  A full bucket sheds incoming
+        best-effort entries with :class:`ShedError`; an interactive
+        arrival instead evicts the newest queued best-effort entry
+        when one exists.  ``None`` (default) disables.
+    shed_target / shed_interval:
+        CoDel-style sojourn shedding: once a bucket's head-of-queue
+        wait has stayed at or above ``shed_target`` seconds for
+        ``shed_interval`` seconds, incoming best-effort entries are
+        shed until the head wait drops back under target.  ``None``
+        target (default) disables.
+    max_inflight:
+        Per-job bound on requests handed to a pool but not yet
+        resolved.  This is the backpressure signal the shedder needs:
+        without it the flusher would happily move an unbounded backlog
+        into the pool queue and bucket sojourn would never reflect
+        overload.  Default ``workers * max_batch * 2``.
+    record_events:
+        Forwarded to every pool: keep per-request lifecycle event logs
+        (see :meth:`WorkerPool.event_log`) for invariant checking.
+    transport / fault_plan / retries / heartbeat_interval /
     hang_grace / max_restarts / mp_context:
         Forwarded to every :class:`WorkerPool` (see there).
     latency_window:
         Per-bucket latency samples kept for the p50/p99 estimate
         (default 2048).
     """
+
+    #: submit() priority classes, in flush order
+    PRIORITIES = ("interactive", "best-effort")
 
     def __init__(
         self,
@@ -172,6 +259,11 @@ class Router:
         max_restarts: int = 16,
         mp_context=None,
         latency_window: int = 2048,
+        bucket_cap: Optional[int] = None,
+        shed_target: Optional[float] = None,
+        shed_interval: float = 0.1,
+        max_inflight: Optional[int] = None,
+        record_events: bool = False,
     ) -> None:
         jobs = list(jobs)
         if not jobs:
@@ -180,9 +272,26 @@ class Router:
             raise ValueError("max_batch must be >= 1")
         if flush_interval <= 0:
             raise ValueError("flush_interval must be > 0")
+        if bucket_cap is not None and bucket_cap < 1:
+            raise ValueError("bucket_cap must be >= 1")
+        if shed_target is not None and shed_target <= 0:
+            raise ValueError("shed_target must be > 0")
+        if shed_interval <= 0:
+            raise ValueError("shed_interval must be > 0")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.max_batch = int(max_batch)
         self.flush_interval = float(flush_interval)
         self.max_pending = max_pending
+        self.deadline = deadline
+        self.bucket_cap = bucket_cap
+        self.shed_target = shed_target
+        self.shed_interval = float(shed_interval)
+        self.max_inflight = (
+            int(max_inflight)
+            if max_inflight is not None
+            else int(workers) * self.max_batch * 2
+        )
         self.latency_window = int(latency_window)
 
         self._jobs: Dict[str, CompileJob] = {}
@@ -199,23 +308,27 @@ class Router:
                 cache_dir=cache_dir,
                 fault_plan=fault_plan,
                 retries=retries,
-                deadline=deadline,
                 heartbeat_interval=heartbeat_interval,
                 hang_grace=hang_grace,
                 max_restarts=max_restarts,
                 transport=transport,
                 batch_max=self.max_batch,
                 mp_context=mp_context,
+                record_events=record_events,
             )
 
         self._mu = threading.Lock()
         self._buckets: Dict[tuple, _Bucket] = {}  # guarded-by: _mu
+        self._inflight: Dict[str, int] = {}  # guarded-by: _mu
         self._pending = 0  # guarded-by: _mu
         self._closed = False  # guarded-by: _mu
+        self.offered = 0  # guarded-by: _mu
         self.submitted = 0  # guarded-by: _mu
         self.completed = 0  # guarded-by: _mu
         self.failed = 0  # guarded-by: _mu
         self.rejected = 0  # guarded-by: _mu
+        self.shed = 0  # guarded-by: _mu
+        self.expired = 0  # guarded-by: _mu
 
         self._wake = threading.Event()
         self._drained = threading.Event()
@@ -226,14 +339,76 @@ class Router:
 
     # -- lifecycle -------------------------------------------------------------
 
-    def close(self, timeout: float = 30.0) -> None:
-        """Flush every bucket, drain the pools, shut down.  Idempotent."""
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission, flush every bucket, complete in-flight work,
+        and shut the pools down.
+
+        The graceful lifecycle verb: every future handed out before the
+        drain reaches its normal terminal state (result, typed error,
+        or expiry).  Returns ``True`` once everything drained within
+        ``timeout`` (``None`` waits indefinitely), ``False`` otherwise.
+        Idempotent, and safe to follow with :meth:`close`.
+        """
+        start = time.monotonic()
         with self._mu:
             self._closed = True
         self._wake.set()
-        self._drained.wait(timeout)
+        ok = self._drained.wait(timeout)
+        for pool in self._pools.values():
+            remaining = None
+            if timeout is not None:
+                remaining = max(0.0, timeout - (time.monotonic() - start))
+            ok = pool.drain(remaining) and ok
+        return ok
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Flush every bucket, drain the pools, shut down.  Idempotent.
+
+        If the drain does not finish within ``timeout`` the close turns
+        forceful: entries still bucketed are failed with
+        :class:`~repro.service.serve.ServerClosed`, and each pool's
+        :meth:`~repro.service.supervisor.WorkerPool.close` applies the
+        same guarantee to anything already dispatched — no future is
+        ever left unresolved.
+        """
+        with self._mu:
+            self._closed = True
+        self._wake.set()
+        if not self._drained.wait(timeout):
+            stranded: List[_Entry] = []
+            with self._mu:
+                for bucket in self._buckets.values():
+                    count = 0
+                    for lane in bucket.lanes:
+                        stranded.extend(lane)
+                        count += len(lane)
+                        lane.clear()
+                    bucket.failed += count
+                self._pending -= len(stranded)
+                self.failed += len(stranded)
+            error = ServerClosed("router closed before completion")
+            for entry in stranded:
+                entry.future.set_exception(error)
+            self._wake.set()
+            self._drained.wait(10.0)
         for pool in self._pools.values():
             pool.close(timeout=timeout)
+
+    def rolling_restart(self, timeout: float = 120.0) -> int:
+        """Rolling-restart every pool's workers, one pool at a time.
+
+        Serving continues throughout; returns the total number of
+        workers replaced.  See
+        :meth:`~repro.service.supervisor.WorkerPool.rolling_restart`.
+        """
+        replaced = 0
+        for pool in self._pools.values():
+            replaced += pool.rolling_restart(timeout=timeout)
+        return replaced
+
+    def pools(self) -> Dict[str, WorkerPool]:
+        """The live pools by job fingerprint (snapshot copy)."""
+        return dict(self._pools)
 
     def __enter__(self) -> "Router":
         return self
@@ -255,19 +430,40 @@ class Router:
         inputs: Optional[Dict[str, np.ndarray]],
         deadline: Optional[float] = None,
         idempotent: bool = True,
+        priority: str = "interactive",
     ) -> "Future[np.ndarray]":
         """Enqueue one request into its bucket; resolves on flush+run.
 
         ``job`` is a catalog :class:`CompileJob` (or its fingerprint).
-        Raises :class:`RejectedError` beyond ``max_pending`` and
+        ``deadline`` is a wall-clock budget from now (falls back to the
+        router default); ``priority`` is one of :attr:`PRIORITIES` —
+        best-effort entries are the ones adaptive shedding drops first.
+        Raises :class:`RejectedError` beyond ``max_pending``,
+        :class:`ShedError` when overload control sheds the request, and
         :class:`ServerClosed` after :meth:`close`.
         """
         job_key = self._job_key(job)
+        try:
+            lane = self.PRIORITIES.index(priority)
+        except ValueError:
+            raise ValueError(
+                f"priority must be one of {self.PRIORITIES},"
+                f" got {priority!r}"
+            ) from None
         now = time.monotonic()
-        entry = _Entry(inputs, deadline, idempotent, now)
+        budget = deadline if deadline is not None else self.deadline
+        entry = _Entry(
+            inputs,
+            now + budget if budget is not None else None,
+            idempotent,
+            now,
+            lane,
+        )
+        evicted: Optional[_Entry] = None
         with self._mu:
             if self._closed:
                 raise ServerClosed("router is closed")
+            self.offered += 1
             bucket_key = (job_key, shape_signature(inputs))
             bucket = self._buckets.get(bucket_key)
             if bucket is None:
@@ -286,13 +482,42 @@ class Router:
                 raise RejectedError(
                     f"admission queue full ({self.max_pending} pending)"
                 )
-            bucket.queue.append(entry)
+            if bucket.shedding and lane == 1:
+                self.shed += 1
+                bucket.shed += 1
+                raise ShedError(
+                    "bucket head-of-queue wait over target; shedding"
+                    " best-effort load"
+                )
+            if (
+                self.bucket_cap is not None
+                and bucket.qlen() >= self.bucket_cap
+            ):
+                if lane == 0 and bucket.lanes[1]:
+                    # interactive displaces the newest best-effort entry
+                    evicted = bucket.lanes[1].pop()
+                    self.shed += 1
+                    bucket.shed += 1
+                    self._pending -= 1
+                else:
+                    self.shed += 1
+                    bucket.shed += 1
+                    raise ShedError(
+                        f"bucket queue full ({self.bucket_cap} queued)"
+                    )
+            bucket.lanes[lane].append(entry)
             bucket.submitted += 1
             if bucket.first_submit is None:
                 bucket.first_submit = now
             self.submitted += 1
             self._pending += 1
-            full = len(bucket.queue) >= self.max_batch
+            full = bucket.qlen() >= self.max_batch
+        if evicted is not None:
+            evicted.future.set_exception(
+                ShedError(
+                    "evicted from a full bucket by an interactive request"
+                )
+            )
         if full:
             self._wake.set()
         return entry.future
@@ -302,8 +527,11 @@ class Router:
         job: Union[CompileJob, str],
         inputs: Optional[Dict[str, np.ndarray]] = None,
         deadline: Optional[float] = None,
+        priority: str = "interactive",
     ) -> np.ndarray:
-        return self.submit(job, inputs, deadline=deadline).result()
+        return self.submit(
+            job, inputs, deadline=deadline, priority=priority
+        ).result()
 
     def run_many(
         self,
@@ -311,24 +539,49 @@ class Router:
         requests: Sequence[Optional[Dict[str, np.ndarray]]],
         deadline: Optional[float] = None,
         on_error: str = "raise",
+        priority: str = "interactive",
     ) -> List[np.ndarray]:
         """Route a stream of requests; outputs in submission order.
 
         ``on_error="return"`` puts a
         :class:`~repro.runtime.executor.RequestError` at each failed
-        index instead of raising on the first.
+        index instead of raising on the first — including requests the
+        admission layer rejected or shed mid-stream.  With
+        ``on_error="raise"`` a mid-stream rejection first awaits every
+        already-submitted future (their work is the router's to finish
+        either way), then re-raises the admission error — submitted
+        work is never silently abandoned.
         """
         if on_error not in ("raise", "return"):
             raise ValueError(
                 f"on_error must be 'raise' or 'return', got {on_error!r}"
             )
-        futures = [
-            self.submit(job, inputs, deadline=deadline) for inputs in requests
-        ]
-        results: List[np.ndarray] = []
-        for index, future in enumerate(futures):
+        items: List[object] = []
+        for index, inputs in enumerate(requests):
             try:
-                results.append(future.result())
+                items.append(
+                    self.submit(
+                        job, inputs, deadline=deadline, priority=priority
+                    )
+                )
+            except (RejectedError, ServerClosed) as exc:
+                if on_error == "return":
+                    items.append(RequestError(index, exc))
+                    continue
+                for item in items:
+                    if isinstance(item, Future):
+                        try:
+                            item.result()
+                        except Exception:
+                            pass
+                raise
+        results: List[np.ndarray] = []
+        for index, item in enumerate(items):
+            if isinstance(item, RequestError):
+                results.append(item)
+                continue
+            try:
+                results.append(item.result())
             except Exception as exc:
                 if on_error == "raise":
                     raise
@@ -336,17 +589,25 @@ class Router:
         return results
 
     def stats(self) -> Dict[str, object]:
-        """Router counters, per-bucket latency/throughput, pool stats."""
+        """Router counters, per-bucket latency/throughput, pool stats.
+
+        Conservation invariant (checked by the chaos harness): at
+        quiescence ``offered == completed + failed + rejected + shed +
+        expired`` and ``pending == 0``.
+        """
         with self._mu:
             buckets = [
                 self._bucket_stats_locked(bucket)
                 for bucket in self._buckets.values()
             ]
             summary = {
+                "offered": self.offered,
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "failed": self.failed,
                 "rejected": self.rejected,
+                "shed": self.shed,
+                "expired": self.expired,
                 "pending": self._pending,
                 "closed": self._closed,
             }
@@ -385,9 +646,15 @@ class Router:
             "completed": bucket.completed,
             "failed": bucket.failed,
             "rejected": bucket.rejected,
+            "shed": bucket.shed,
+            "expired": bucket.expired,
             "flushes": bucket.flushes,
             "largest_flush": bucket.largest_flush,
-            "queued": len(bucket.queue),
+            "queued": bucket.qlen(),
+            "queued_interactive": len(bucket.lanes[0]),
+            "queued_best_effort": len(bucket.lanes[1]),
+            "shedding": bucket.shedding,
+            "inflight": self._inflight.get(job_key, 0),
             "p50_ms": p50,
             "p99_ms": p99,
             "throughput_rps": throughput,
@@ -395,17 +662,70 @@ class Router:
 
     # -- flushing --------------------------------------------------------------
 
+    def _expire_bucket_locked(
+        self, bucket: _Bucket, now: float
+    ) -> List[_Entry]:
+        """Pull every entry whose budget is spent out of the bucket.
+
+        Their futures are resolved by the caller *outside* ``_mu`` —
+        a done callback may grab arbitrary user locks.
+        """
+        expired: List[_Entry] = []
+        for lane in bucket.lanes:
+            if not any(
+                entry.expires_at is not None and entry.expires_at <= now
+                for entry in lane
+            ):
+                continue
+            keep: List[_Entry] = []
+            for entry in lane:
+                if entry.expires_at is not None and entry.expires_at <= now:
+                    expired.append(entry)
+                else:
+                    keep.append(entry)
+            lane.clear()
+            lane.extend(keep)
+        if expired:
+            self._pending -= len(expired)
+            self.expired += len(expired)
+            bucket.expired += len(expired)
+        return expired
+
+    def _shed_control_locked(self, bucket: _Bucket, now: float) -> None:
+        """CoDel-style state update: head sojourn at/over target for a
+        full interval turns shedding on; dropping under target turns it
+        off (and resets the interval clock)."""
+        if self.shed_target is None:
+            return
+        head = bucket.head_queued_at()
+        if head is None or now - head < self.shed_target:
+            bucket.above_since = None
+            bucket.shedding = False
+            return
+        if bucket.above_since is None:
+            bucket.above_since = now
+        elif now - bucket.above_since >= self.shed_interval:
+            bucket.shedding = True
+
+    def _dispatch_budget_locked(self, job_key: str) -> int:
+        return self.max_inflight - self._inflight.get(job_key, 0)
+
     def _due_locked(self, now: float, closing: bool) -> List[_Bucket]:
         """Buckets whose queue must dispatch now: full, aged past the
-        flush window, or a close is draining everything."""
+        flush window, or a close is draining everything — and whose
+        pool still has in-flight budget (backpressure otherwise holds
+        the queue here, where sojourn shedding can see it)."""
         due = []
         for bucket in self._buckets.values():
-            if not bucket.queue:
+            if not bucket.qlen():
                 continue
+            if self._dispatch_budget_locked(bucket.job_key) <= 0:
+                continue
+            head = bucket.head_queued_at()
             if (
                 closing
-                or len(bucket.queue) >= self.max_batch
-                or now - bucket.queue[0].queued_at >= self.flush_interval
+                or bucket.qlen() >= self.max_batch
+                or now - head >= self.flush_interval
             ):
                 due.append(bucket)
         return due
@@ -416,24 +736,45 @@ class Router:
             self._wake.wait(timeout=poll)
             self._wake.clear()
             now = time.monotonic()
+            expired_entries: List[_Entry] = []
             with self._mu:
                 closing = self._closed
+                for bucket in self._buckets.values():
+                    expired_entries.extend(
+                        self._expire_bucket_locked(bucket, now)
+                    )
+                    self._shed_control_locked(bucket, now)
                 due = self._due_locked(now, closing)
-                drained = [
-                    (bucket, list(bucket.queue)) for bucket in due
-                ]
-                for bucket, entries in drained:
-                    bucket.queue.clear()
+                drained = []
+                taken: Dict[str, int] = {}
+                for bucket in due:
+                    budget = self._dispatch_budget_locked(
+                        bucket.job_key
+                    ) - taken.get(bucket.job_key, 0)
+                    entries = bucket.take(budget) if budget > 0 else []
+                    if not entries:
+                        continue
+                    taken[bucket.job_key] = (
+                        taken.get(bucket.job_key, 0) + len(entries)
+                    )
                     bucket.flushes += 1
                     bucket.largest_flush = max(
                         bucket.largest_flush, len(entries)
                     )
+                    drained.append((bucket, entries))
+            for entry in expired_entries:
+                entry.future.set_exception(
+                    DeadlineExceeded(
+                        "request budget expired before its bucket flushed"
+                    )
+                )
             for bucket, entries in drained:
                 self._dispatch(bucket, entries)
             if closing and not drained:
                 with self._mu:
                     empty = all(
-                        not bucket.queue for bucket in self._buckets.values()
+                        not bucket.qlen()
+                        for bucket in self._buckets.values()
                     )
                 if empty:
                     break
@@ -442,26 +783,30 @@ class Router:
     def _dispatch(self, bucket: _Bucket, entries: List[_Entry]) -> None:
         """Hand one drained bucket to its pool (never under ``_mu``).
 
-        Entries with distinct (deadline, idempotent) knobs become
-        separate ``submit_many`` calls — the pool applies those
-        per-batch.  A pool-side rejection or close fails the affected
-        entries with the pool's typed error.
+        Entries are grouped by idempotence (a pool batch carries one
+        flag); each request's absolute expiry rides along, so budget
+        already spent in the router keeps counting in the pool.  A
+        pool-side rejection or close fails the affected entries with
+        the pool's typed error.
         """
         pool = self._pools[bucket.job_key]
-        groups: Dict[Tuple, List[_Entry]] = {}
+        groups: Dict[bool, List[_Entry]] = {}
         for entry in entries:
-            groups.setdefault((entry.deadline, entry.idempotent), []).append(
-                entry
-            )
-        for (deadline, idempotent), group in groups.items():
+            groups.setdefault(entry.idempotent, []).append(entry)
+        for idempotent, group in groups.items():
+            with self._mu:
+                self._inflight[bucket.job_key] = (
+                    self._inflight.get(bucket.job_key, 0) + len(group)
+                )
             try:
                 pool_futures = pool.submit_many(
                     [entry.inputs for entry in group],
-                    deadline=deadline,
                     idempotent=idempotent,
+                    expires_at=[entry.expires_at for entry in group],
                 )
             except (RejectedError, ServerClosed) as exc:
                 with self._mu:
+                    self._inflight[bucket.job_key] -= len(group)
                     self._pending -= len(group)
                     self.failed += len(group)
                     bucket.failed += len(group)
@@ -489,14 +834,20 @@ class Router:
         now = time.monotonic()
         with self._mu:
             self._pending -= 1
+            self._inflight[bucket.job_key] -= 1
             if error is None:
                 self.completed += 1
                 bucket.completed += 1
                 bucket.latencies.append(now - entry.queued_at)
                 bucket.last_done = now
+            elif isinstance(error, DeadlineExceeded):
+                self.expired += 1
+                bucket.expired += 1
             else:
                 self.failed += 1
                 bucket.failed += 1
+        # in-flight budget freed: the flusher may owe a deferred dispatch
+        self._wake.set()
         if error is None:
             entry.future.set_result(pool_future.result())
         else:

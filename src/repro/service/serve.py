@@ -77,6 +77,16 @@ class RejectedError(RuntimeError):
     """Admission control rejected the request (pending queue full)."""
 
 
+class ShedError(RejectedError):
+    """Adaptive overload shedding rejected (or evicted) the request.
+
+    A subclass of :class:`RejectedError` so existing shed-on-reject
+    callers keep working; raised by the router's queue-sojourn shedder,
+    per-bucket depth caps, and best-effort lane eviction rather than
+    the static ``max_pending`` bound.
+    """
+
+
 class Server:
     """Serve one compiled pipeline from a pool of plan-holding workers.
 
@@ -452,6 +462,22 @@ class Server:
             if self._degraded_backend is not None:
                 self._degraded_backend = None
                 self._plan_generation += 1
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission and complete every accepted request.
+
+        The graceful lifecycle verb, mirroring ``Router.drain`` /
+        ``WorkerPool.drain``.  For the thread-pool server a close
+        already drains (the executor finishes queued + running work),
+        so this is :meth:`close` with the drain guarantee spelled out:
+        once it returns, every future handed out by :meth:`submit` is
+        terminal.  ``timeout`` is accepted for interface symmetry; the
+        executor shutdown itself is not interruptible, and the return
+        value is always ``True``.
+        """
+        del timeout  # thread workers always finish; nothing to abort
+        self.close()
+        return True
 
     def close(self) -> None:
         """Drain in-flight requests and stop the workers (idempotent).

@@ -67,6 +67,7 @@ __all__ = [
     "ShmRingSpec",
     "ShmUnavailable",
     "available",
+    "leaked_segments",
     "plan_frame",
     "read_frame",
     "write_frame",
@@ -127,6 +128,51 @@ def _untrack(shm) -> None:
         resource_tracker.unregister(shm._name, "shared_memory")
     except Exception:
         pass
+
+
+#: every segment this process ever created, by name — hygiene ledger
+_SEGMENTS_LOCK = threading.Lock()
+_SEGMENTS: set = set()  # guarded-by: _SEGMENTS_LOCK
+
+
+def _segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment with ``name`` still exists."""
+    import os
+
+    path = os.path.join("/dev/shm", name.lstrip("/"))
+    if os.path.isdir("/dev/shm"):
+        return os.path.exists(path)
+    try:  # pragma: no cover - non-tmpfs hosts
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:  # pragma: no cover
+        return False
+    except Exception:  # pragma: no cover
+        return False
+    _untrack(probe)  # pragma: no cover
+    probe.close()  # pragma: no cover
+    return True  # pragma: no cover
+
+
+def leaked_segments() -> List[str]:
+    """Segments created by this process that still exist on the host.
+
+    The hygiene check behind the chaos-soak teardown invariant and the
+    test-session fixture: after every ring owner has destroyed its
+    segments this is empty.  Confirmed-gone names are dropped from the
+    ledger so repeated calls stay cheap.
+    """
+    with _SEGMENTS_LOCK:
+        names = sorted(_SEGMENTS)
+    leaked = []
+    for name in names:
+        if _segment_exists(name):
+            leaked.append(name)
+        else:
+            with _SEGMENTS_LOCK:
+                _SEGMENTS.discard(name)
+    return leaked
 
 
 def available(probe_bytes: int = 1024) -> bool:
@@ -193,6 +239,8 @@ class ShmRing:
                 f"cannot create a {size}-byte shared-memory ring: {exc}"
             ) from exc
         spec = ShmRingSpec(segment.name, int(slots), slot_bytes, checksum)
+        with _SEGMENTS_LOCK:
+            _SEGMENTS.add(segment.name)
         _RING_HEADER.pack_into(
             segment.buf, 0, _MAGIC, spec.slots, spec.slot_bytes,
             1 if checksum else 0,
@@ -269,6 +317,9 @@ class ShmRing:
                 segment.unlink()
             except Exception:
                 pass
+            if not _segment_exists(self._spec.name):
+                with _SEGMENTS_LOCK:
+                    _SEGMENTS.discard(self._spec.name)
 
     def destroy(self) -> None:
         """``close()`` then ``unlink()`` — the owner's teardown."""

@@ -8,10 +8,13 @@ its own *process*, supervised over a duplex pipe:
 * **crashes** are detected the moment the worker process dies (its
   pipe hits EOF / its sentinel fires) and the worker is restarted with
   a bumped incarnation number;
-* **hangs** are detected two ways: a per-request ``deadline`` measured
-  from dispatch, and heartbeat staleness for a process wedged hard
-  enough that its heartbeat thread stops (e.g. a C loop holding the
-  GIL).  Either kills and restarts the worker;
+* **hangs** are detected two ways: a per-request wall-clock *budget*
+  (``deadline``, measured from submission and decremented through
+  queue wait and execution alike — a request whose budget expires
+  while still queued fails fast without ever occupying a worker), and
+  heartbeat staleness for a process wedged hard enough that its
+  heartbeat thread stops (e.g. a C loop holding the GIL).  Either
+  kills and restarts the worker;
 * the in-flight requests of a dead worker are **re-dispatched** under
   a bounded retry budget with exponential backoff and deterministic
   jitter — unless a request was submitted ``idempotent=False``, in
@@ -45,6 +48,16 @@ Jobs cross the boundary as :class:`~repro.service.batch.CompileJob`
 specs — an ``App`` itself is not picklable.  Every recovery action —
 restarts, retries, deadline and heartbeat kills, crash counts — and
 every transport decision is reported by :meth:`WorkerPool.stats`.
+
+Lifecycle verbs: :meth:`WorkerPool.drain` stops admission and lets
+every accepted request reach its normal terminal state before the
+workers stop; :meth:`WorkerPool.close` drains with a timeout and then
+turns forceful, failing whatever is left with
+:class:`~repro.service.serve.ServerClosed` so no future is ever left
+unresolved; :meth:`WorkerPool.rolling_restart` replaces workers one at
+a time — drain, retire, respawn, health-probe — with zero dropped
+requests, for planned restarts (artifact refresh, config rollout)
+rather than crash recovery.
 """
 
 from __future__ import annotations
@@ -57,6 +70,7 @@ import time
 import traceback
 from collections import deque
 from concurrent.futures import Future
+from multiprocessing import resource_tracker
 from multiprocessing.connection import wait as connection_wait
 from typing import Deque, Dict, List, Optional, Sequence
 
@@ -187,6 +201,17 @@ def _worker_main(
     ``("reqs_shm", slot, rids, meta)`` points at a published
     request-ring frame, ``("stop",)`` shuts down.
     """
+    # Fork-safety: a forked child inherits the multiprocessing resource
+    # tracker's RLock *state*.  Workers are forked from the supervisor
+    # thread, so if any other parent thread (a sibling pool creating or
+    # destroying rings) held that lock at fork time, this process would
+    # deadlock inside ensure_running() on its first SharedMemory attach
+    # — while the heartbeat side-thread keeps it looking healthy.  The
+    # holder does not exist in this process, so a fresh lock is safe;
+    # the inherited fd still points at the parent's live tracker.
+    tracker = getattr(resource_tracker, "_resource_tracker", None)
+    if tracker is not None and hasattr(tracker, "_lock"):
+        tracker._lock = threading.RLock()
     send_lock = threading.Lock()
 
     def send(message) -> None:
@@ -296,17 +321,17 @@ class _Request:
         "future",
         "attempts",
         "idempotent",
-        "deadline",
+        "expires_at",
         "not_before",
     )
 
-    def __init__(self, req_id, inputs, idempotent, deadline):
+    def __init__(self, req_id, inputs, idempotent, expires_at):
         self.id = req_id
         self.inputs = inputs
         self.future: "Future[np.ndarray]" = Future()
         self.attempts = 0  # dispatches so far
         self.idempotent = idempotent
-        self.deadline = deadline
+        self.expires_at = expires_at  # absolute monotonic expiry, or None
         self.not_before = 0.0  # retry backoff gate (monotonic time)
 
 
@@ -323,14 +348,43 @@ class _Batch:
         return max(request.not_before for request in self.requests)
 
     @property
-    def deadline(self) -> Optional[float]:
-        """Tightest member deadline — the batch runs as one dispatch."""
-        deadlines = [
-            request.deadline
+    def expires_at(self) -> Optional[float]:
+        """Tightest member expiry — the batch runs as one dispatch.
+        Expired members are swept out *before* dispatch, so this never
+        inherits a budget a live member did not ask for."""
+        expiries = [
+            request.expires_at
             for request in self.requests
-            if request.deadline is not None
+            if request.expires_at is not None
         ]
-        return min(deadlines) if deadlines else None
+        return min(expiries) if expiries else None
+
+
+class _Rolling:
+    """In-progress :meth:`WorkerPool.rolling_restart` bookkeeping.
+
+    All fields are guarded by the pool's ``_mu`` except ``done``
+    (an event the caller waits on outside the lock).
+    """
+
+    __slots__ = (
+        "pending",
+        "phase",
+        "old_incarnation",
+        "probe_started",
+        "replaced",
+        "error",
+        "done",
+    )
+
+    def __init__(self, worker_ids: List[int]) -> None:
+        self.pending = list(worker_ids)
+        self.phase = "draining"  # "draining" | "probing"
+        self.old_incarnation: Optional[int] = None
+        self.probe_started = 0.0
+        self.replaced = 0
+        self.error: Optional[str] = None
+        self.done = threading.Event()
 
 
 class _Worker:
@@ -348,6 +402,7 @@ class _Worker:
         "req_ring",
         "resp_ring",
         "shm_state",  # "none" | "pending" | "ready" | "broken"
+        "draining",
     )
 
     def __init__(self, wid, incarnation, process, conn, init_strikes, now):
@@ -357,6 +412,7 @@ class _Worker:
         self.conn = conn
         self.ready = False
         self.batch: Optional[_Batch] = None
+        self.draining = False  # rolling restart: no new dispatches
         self.dispatched_at = 0.0
         self.last_heartbeat = now
         self.init_strikes = init_strikes
@@ -398,9 +454,19 @@ class WorkerPool:
         delay is ``min(max, base * 2**(attempt-1)) * (0.5 + 0.5 *
         jitter)`` with deterministic per-request jitter.
     deadline:
-        Default per-request deadline in seconds, measured from
-        dispatch; ``None`` disables.  Overridable per :meth:`submit`.
-        A batch is killed on its tightest member deadline.
+        Default per-request wall-clock *budget* in seconds, measured
+        from submission; ``None`` disables.  Overridable per
+        :meth:`submit`.  The budget is decremented through queue wait
+        and execution alike: a request still queued when its budget
+        runs out fails fast with :class:`DeadlineExceeded` without
+        ever occupying a worker, and a dispatched batch is killed at
+        its tightest *live* member expiry (expired members are swept
+        out before dispatch, never inherited).
+    record_events:
+        When true, keep a bounded in-memory log of request lifecycle
+        events (``("dispatch"|"complete"|"fail"|"expire", rid, ...)``)
+        readable via :meth:`event_log` — the chaos harness uses it to
+        check at-most-once and exactly-one-terminal-outcome.
     heartbeat_interval:
         Worker heartbeat period; staleness beyond ``hang_grace``
         (default ``max(1s, 10x interval)``) kills the worker.
@@ -444,6 +510,7 @@ class WorkerPool:
         transport: str = "auto",
         batch_max: int = 32,
         mp_context=None,
+        record_events: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -490,9 +557,13 @@ class WorkerPool:
         self._queue: Deque[_Batch] = deque()  # guarded-by: _mu
         self._workers: Dict[int, _Worker] = {}  # guarded-by: _mu
         self._closed = False  # guarded-by: _mu
+        self._aborted = False  # guarded-by: _mu
+        self._rolling: Optional[_Rolling] = None  # guarded-by: _mu
         self._drained = threading.Event()
         self._req_ids = itertools.count()
         self._wakeup_r, self._wakeup_w = self._ctx.Pipe(duplex=False)
+        self.record_events = bool(record_events)
+        self._events: Deque[tuple] = deque(maxlen=65536)  # guarded-by: _mu
 
         self.restarts = 0  # guarded-by: _mu
         self.crashes = 0  # guarded-by: _mu
@@ -501,7 +572,9 @@ class WorkerPool:
         self.retries_performed = 0  # guarded-by: _mu
         self.completed = 0  # guarded-by: _mu
         self.failed = 0  # guarded-by: _mu
+        self.expired = 0  # guarded-by: _mu
         self.rejected = 0  # guarded-by: _mu
+        self.rolling_restarts = 0  # guarded-by: _mu
         self.shm_batches = 0  # guarded-by: _mu
         self.shm_requests = 0  # guarded-by: _mu
         self.pipe_batches = 0  # guarded-by: _mu
@@ -559,18 +632,74 @@ class WorkerPool:
         except (BrokenPipeError, OSError):  # pragma: no cover - teardown race
             pass
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission, complete queued + in-flight work, shut down.
+
+        The graceful lifecycle verb: every already-accepted request
+        reaches its normal terminal state (success, retry-exhausted
+        failure, or expiry) before the workers stop.  Returns ``True``
+        once fully drained, ``False`` on timeout (work may still be
+        completing; futures stay owned by the pool).  Idempotent.
+        """
+        with self._mu:
+            self._closed = True
+        self._nudge()
+        return self._drained.wait(timeout)
+
     def close(self, timeout: float = 30.0) -> None:
         """Stop accepting work, drain, and shut the workers down.
 
         Idempotent.  Queued and in-flight requests complete (with their
         normal retry semantics) before the workers are stopped; a
         submit racing the close gets a typed
-        :class:`~repro.service.serve.ServerClosed`.
+        :class:`~repro.service.serve.ServerClosed`.  If the drain does
+        not finish within ``timeout`` the close turns forceful: every
+        still-pending future is failed with
+        :class:`~repro.service.serve.ServerClosed` and the workers are
+        killed — no future is ever left unresolved.
         """
         with self._mu:
             self._closed = True
         self._nudge()
-        self._drained.wait(timeout)
+        if not self._drained.wait(timeout):
+            with self._mu:
+                self._aborted = True
+            self._nudge()
+            self._drained.wait(10.0)
+
+    def rolling_restart(self, timeout: float = 120.0) -> int:
+        """Replace every worker, one at a time, with zero dropped work.
+
+        Each worker in turn is drained (no new dispatches; its
+        in-flight batch completes), stopped, and respawned with a
+        bumped incarnation; the replacement warm-starts from
+        ``cache_dir`` and must health-probe ``ready`` before the next
+        worker is touched.  Admission stays open throughout and queued
+        requests keep flowing to the other workers.  Returns the
+        number of workers replaced; raises on timeout or when no
+        replacement comes up.
+        """
+        with self._mu:
+            if self._closed:
+                raise ServerClosed("worker pool is closed")
+            if self._rolling is not None:
+                raise RuntimeError("a rolling restart is already in progress")
+            rolling = _Rolling(sorted(self._workers))
+            self._rolling = rolling
+        self._nudge()
+        if not rolling.done.wait(timeout):
+            with self._mu:
+                if self._rolling is rolling:
+                    self._rolling = None
+                for worker in self._workers.values():
+                    worker.draining = False
+            raise TimeoutError(
+                f"rolling restart did not complete within {timeout}s"
+                f" ({rolling.replaced} workers replaced)"
+            )
+        if rolling.error is not None:
+            raise WorkerInitFailed(rolling.error)
+        return rolling.replaced
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -602,6 +731,7 @@ class WorkerPool:
         requests: Sequence[Optional[Dict[str, np.ndarray]]],
         deadline: Optional[float] = None,
         idempotent: bool = True,
+        expires_at: Optional[Sequence[Optional[float]]] = None,
     ) -> "List[Future[np.ndarray]]":
         """Enqueue a micro-batch; one future per request, in order.
 
@@ -610,10 +740,28 @@ class WorkerPool:
         dispatch inside a worker.  Admission is all-or-nothing: when
         ``max_pending`` cannot absorb the whole batch, every request is
         rejected and counted.
+
+        ``deadline`` is a per-request wall-clock budget from *now*;
+        ``expires_at`` instead passes pre-computed absolute monotonic
+        expiries, one per request (the router uses this so queue time
+        already spent upstream keeps counting against the budget).
         """
         requests = list(requests)
         if not requests:
             return []
+        now = time.monotonic()
+        if expires_at is None:
+            budget = deadline if deadline is not None else self.deadline
+            expiries: List[Optional[float]] = [
+                now + budget if budget is not None else None
+            ] * len(requests)
+        else:
+            expiries = list(expires_at)
+            if len(expiries) != len(requests):
+                raise ValueError(
+                    f"expires_at must match requests: got {len(expiries)}"
+                    f" expiries for {len(requests)} requests"
+                )
         with self._mu:
             if self._closed:
                 raise ServerClosed("worker pool is closed")
@@ -630,9 +778,9 @@ class WorkerPool:
                     next(self._req_ids),
                     inputs,
                     idempotent,
-                    deadline if deadline is not None else self.deadline,
+                    expiry,
                 )
-                for inputs in requests
+                for inputs, expiry in zip(requests, expiries)
             ]
             spread = max(1, len(self._workers))
             chunk = max(
@@ -672,18 +820,47 @@ class WorkerPool:
             raise ValueError(
                 f"on_error must be 'raise' or 'return', got {on_error!r}"
             )
-        futures = [
-            self.submit(inputs, deadline=deadline) for inputs in requests
-        ]
-        results: List[np.ndarray] = []
-        for index, future in enumerate(futures):
+        items: List[object] = []
+        for index, inputs in enumerate(requests):
             try:
-                results.append(future.result())
+                items.append(self.submit(inputs, deadline=deadline))
+            except (RejectedError, ServerClosed) as exc:
+                if on_error == "return":
+                    items.append(RequestError(index, exc))
+                    continue
+                # deterministic partial-submit semantics: await what was
+                # already admitted (their outcomes are the pool's to
+                # resolve), then surface the admission error
+                for item in items:
+                    if isinstance(item, Future):
+                        try:
+                            item.result()
+                        except Exception:
+                            pass
+                raise
+        results: List[np.ndarray] = []
+        for index, item in enumerate(items):
+            if isinstance(item, RequestError):
+                results.append(item)
+                continue
+            try:
+                results.append(item.result())
             except Exception as exc:
                 if on_error == "raise":
                     raise
                 results.append(RequestError(index, exc))
         return results
+
+    def event_log(self) -> List[tuple]:
+        """Snapshot of the lifecycle event log (``record_events=True``).
+
+        Entries are ``("dispatch", rid, idempotent, attempt)``,
+        ``("complete", rid)``, ``("fail", rid, error_kind)``, and
+        ``("expire", rid)`` in supervisor order — the terminal kinds
+        appear exactly once per request id.
+        """
+        with self._mu:
+            return list(self._events)
 
     def stats(self) -> Dict[str, object]:
         """Recovery and throughput counters plus per-worker state."""
@@ -703,16 +880,19 @@ class WorkerPool:
                         "busy": worker.batch is not None,
                         "alive": worker.process.is_alive(),
                         "shm": worker.shm_state,
+                        "draining": worker.draining,
                     }
                     for worker in self._workers.values()
                 ],
                 "restarts": self.restarts,
+                "rolling_restarts": self.rolling_restarts,
                 "crashes": self.crashes,
                 "deadline_kills": self.deadline_kills,
                 "heartbeat_kills": self.heartbeat_kills,
                 "retries": self.retries_performed,
                 "completed": self.completed,
                 "failed": self.failed,
+                "expired": self.expired,
                 "rejected": self.rejected,
                 "pending": self._pending_locked(),
                 "closed": self._closed,
@@ -747,7 +927,20 @@ class WorkerPool:
 
     def _fail_locked(self, request: _Request, error: BaseException) -> None:
         self.failed += 1
+        if self.record_events:
+            self._events.append(("fail", request.id, type(error).__name__))
         request.future.set_exception(error)
+
+    def _expire_locked(self, request: _Request, where: str) -> None:
+        """Terminal budget expiry: counted apart from failures."""
+        self.expired += 1
+        if self.record_events:
+            self._events.append(("expire", request.id))
+        request.future.set_exception(
+            DeadlineExceeded(
+                f"request {request.id} budget expired {where}"
+            )
+        )
 
     def _retry_or_fail_locked(
         self, request: _Request, error: BaseException
@@ -757,6 +950,13 @@ class WorkerPool:
 
         ``request.attempts`` already counts the dispatch that failed.
         """
+        if (
+            request.expires_at is not None
+            and time.monotonic() >= request.expires_at
+        ):
+            # the budget is spent; a retry could never meet it
+            self._expire_locked(request, "during dispatch")
+            return
         if not request.idempotent:
             # at-most-once: the attempt may have (partially) run
             self._fail_locked(request, error)
@@ -796,9 +996,13 @@ class WorkerPool:
                 self._retry_or_fail_locked(request, error)
         del self._workers[worker.id]
         strikes = worker.init_strikes + (0 if worker.ready else 1)
+        # a graceful drain (closed, not aborted) still owes terminal
+        # results for queued work, so crashes keep respawning until the
+        # queue is empty; an abort has already failed everything
         if (
             respawn
-            and not self._closed
+            and not self._aborted
+            and (not self._closed or self._queue)
             and self.restarts < self.max_restarts
             and strikes < self._INIT_STRIKE_LIMIT
         ):
@@ -885,6 +1089,8 @@ class WorkerPool:
             request = by_id.pop(rid, None)
             if request is not None:
                 self.completed += 1
+                if self.record_events:
+                    self._events.append(("complete", rid))
                 request.future.set_result(output)
         for request in by_id.values():  # no verdict at all: treat as lost
             self._retry_or_fail_locked(
@@ -964,12 +1170,39 @@ class WorkerPool:
         self.pipe_payloads += len(rids)
         return True
 
+    def _sweep_expired_locked(self, now: float) -> None:
+        """Fail-fast every queued request whose budget is spent.
+
+        Runs before each dispatch pass, so an expired request never
+        occupies a worker and a batch's dispatch deadline is the
+        tightest *live* member expiry, never an expired one's.
+        """
+        if not self._queue:
+            return
+        survivors: Deque[_Batch] = deque()
+        for batch in self._queue:
+            live: List[_Request] = []
+            for request in batch.requests:
+                if (
+                    request.expires_at is not None
+                    and request.expires_at <= now
+                ):
+                    self._expire_locked(request, "while queued")
+                else:
+                    live.append(request)
+            if live:
+                batch.requests = live
+                survivors.append(batch)
+        self._queue = survivors
+
     def _dispatch_locked(self, now: float) -> None:
+        self._sweep_expired_locked(now)
         idle = [
             worker
             for worker in self._workers.values()
             if worker.ready
             and worker.batch is None
+            and not worker.draining
             and worker.process.is_alive()
         ]
         deferred: List[_Batch] = []
@@ -988,10 +1221,103 @@ class WorkerPool:
                     request.attempts -= 1
                 deferred.append(batch)
                 continue
+            if self.record_events:
+                for request in batch.requests:
+                    self._events.append(
+                        (
+                            "dispatch",
+                            request.id,
+                            request.idempotent,
+                            request.attempts,
+                        )
+                    )
             worker.batch = batch
             worker.dispatched_at = now
         for batch in deferred:
             self._queue.appendleft(batch)
+
+    def _abort_locked(self) -> None:
+        """Forceful close: fail everything pending with ServerClosed.
+
+        Runs when :meth:`close` gave up waiting for a graceful drain —
+        every queued and in-flight future reaches a terminal state
+        before the workers are torn down, so no caller blocks forever.
+        """
+        error = ServerClosed("worker pool closed before completion")
+        while self._queue:
+            for request in self._queue.popleft().requests:
+                self._fail_locked(request, error)
+        for worker in self._workers.values():
+            batch, worker.batch = worker.batch, None
+            if batch is not None:
+                for request in batch.requests:
+                    self._fail_locked(request, error)
+
+    def _rolling_step_locked(self, now: float) -> None:
+        """Advance an in-progress rolling restart by one state step.
+
+        One worker at a time: mark it draining (no new dispatches; its
+        in-flight batch completes), retire it, spawn the replacement
+        with a bumped incarnation, and only move to the next worker
+        once the replacement health-probes ``ready``.  A crash during
+        the probe rides the normal reap/respawn path; a replacement
+        that strikes out fails the whole rolling restart.
+        """
+        rolling = self._rolling
+        if rolling is None:
+            return
+        while rolling.pending:
+            wid = rolling.pending[0]
+            worker = self._workers.get(wid)
+            if worker is None:
+                rolling.error = (
+                    f"worker {wid} is gone and was not respawned; cannot"
+                    " complete the rolling restart"
+                )
+                break
+            if rolling.phase == "draining":
+                if rolling.old_incarnation is None:
+                    rolling.old_incarnation = worker.incarnation
+                if worker.incarnation > rolling.old_incarnation:
+                    # a crash already replaced it mid-drain: treat the
+                    # respawn as the replacement and health-probe it
+                    rolling.phase = "probing"
+                    rolling.probe_started = now
+                    continue
+                worker.draining = True
+                if worker.batch is not None:
+                    return  # its in-flight batch finishes first
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=1.0)
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._destroy_rings(worker)
+                del self._workers[wid]
+                self._spawn_locked(wid, worker.incarnation + 1, 0)
+                rolling.phase = "probing"
+                rolling.probe_started = now
+                return
+            # probing: wait for the replacement's ready health probe
+            if worker.ready:
+                worker.draining = False
+                rolling.replaced += 1
+                rolling.pending.pop(0)
+                rolling.phase = "draining"
+                rolling.old_incarnation = None
+                continue
+            return
+        self._rolling = None
+        if rolling.error is None:
+            self.rolling_restarts += 1
+        rolling.done.set()
 
     def _supervise(self) -> None:
         while True:
@@ -1008,6 +1334,8 @@ class WorkerPool:
                                 break  # reaped (init_err)
                     except (EOFError, OSError):
                         pass  # death handled below via is_alive
+                if self._aborted:
+                    self._abort_locked()
                 for worker in list(self._workers.values()):
                     if not worker.process.is_alive():
                         code = worker.process.exitcode
@@ -1023,19 +1351,14 @@ class WorkerPool:
                         )
                         continue
                     batch = worker.batch
-                    batch_deadline = (
-                        batch.deadline if batch is not None else None
-                    )
-                    if (
-                        batch_deadline is not None
-                        and now - worker.dispatched_at > batch_deadline
-                    ):
+                    expiry = batch.expires_at if batch is not None else None
+                    if expiry is not None and now > expiry:
                         self._reap_locked(
                             worker,
                             DeadlineExceeded(
-                                f"batch of {len(batch.requests)} exceeded"
-                                f" its {batch_deadline:.3f}s deadline on"
-                                f" worker {worker.id}"
+                                f"batch of {len(batch.requests)} overran"
+                                f" its budget mid-execution on worker"
+                                f" {worker.id}"
                             ),
                             "deadline_kills",
                         )
@@ -1050,6 +1373,16 @@ class WorkerPool:
                             "heartbeat_kills",
                         )
                         continue
+                if not self._workers and self._queue:
+                    # the restart budget is spent and nobody can serve:
+                    # fail queued work now instead of letting it hang
+                    while self._queue:
+                        for request in self._queue.popleft().requests:
+                            self._fail_locked(
+                                request,
+                                WorkerCrashed("no live workers remain"),
+                            )
+                self._rolling_step_locked(now)
                 self._dispatch_locked(now)
                 if (
                     self._closed
@@ -1058,6 +1391,13 @@ class WorkerPool:
                         worker.batch for worker in self._workers.values()
                     )
                 ):
+                    if self._rolling is not None:
+                        rolling, self._rolling = self._rolling, None
+                        rolling.error = (
+                            rolling.error
+                            or "pool closed during rolling restart"
+                        )
+                        rolling.done.set()
                     workers = list(self._workers.values())
                     self._workers.clear()
                     break
@@ -1084,6 +1424,9 @@ class WorkerPool:
             worker.process.join(timeout=2.0)
             if worker.process.is_alive():
                 worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck SIGTERM
+                worker.process.kill()
                 worker.process.join(timeout=1.0)
             try:
                 worker.conn.close()

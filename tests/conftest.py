@@ -102,3 +102,29 @@ def artifact_store(tmp_path):
     from repro.service import ArtifactStore
 
     return ArtifactStore(str(tmp_path / "artifacts"))
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _no_stray_serving_state():
+    """Session hygiene: the suite must not leak worker processes or
+    shared-memory segments.  Runs after the last test; a failure here
+    means some test tore a pool down without reclaiming its resources."""
+    yield
+    import multiprocessing
+    import time
+
+    from repro.service.shm import leaked_segments
+
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        strays = [
+            process.name
+            for process in multiprocessing.active_children()
+            if process.name.startswith("repro-worker")
+        ]
+        leaked = leaked_segments()
+        if not strays and not leaked:
+            return
+        time.sleep(0.05)
+    assert not strays, f"stray worker processes survived the session: {strays}"
+    assert not leaked, f"leaked /dev/shm segments survived the session: {leaked}"

@@ -327,3 +327,264 @@ class TestStats:
         fingerprint = bucket["fingerprint"]
         assert stats["jobs"][fingerprint] == FAST_JOB.label
         assert stats["pools"][fingerprint]["completed"] == len(requests)
+
+
+class TestLifecycleHardening:
+    def test_run_many_partial_submit_returns_placeholders(self, rng):
+        """Regression: a mid-stream admission rejection must not
+        abandon already-submitted futures.  With on_error="return" the
+        rejected tail comes back as RequestError placeholders and the
+        admitted head still completes."""
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 4, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        with Router(
+            [FAST_JOB],
+            workers=1,
+            max_batch=16,
+            flush_interval=0.3,
+            max_pending=2,
+        ) as router:
+            results = router.run_many(
+                FAST_JOB, requests, on_error="return"
+            )
+        np.testing.assert_array_equal(results[0], expected[0])
+        np.testing.assert_array_equal(results[1], expected[1])
+        for index in (2, 3):
+            assert isinstance(results[index], RequestError)
+            assert isinstance(results[index].original, RejectedError)
+            assert results[index].index == index
+
+    def test_run_many_partial_submit_raise_awaits_the_head(self, rng):
+        """Same regression, on_error="raise": the RejectedError
+        surfaces only after the already-submitted futures reached
+        terminal states — nothing is left pending behind the raise."""
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 4, rng)
+        with Router(
+            [FAST_JOB],
+            workers=1,
+            max_batch=16,
+            flush_interval=0.3,
+            max_pending=2,
+        ) as router:
+            with pytest.raises(RejectedError):
+                router.run_many(FAST_JOB, requests, on_error="raise")
+            stats = router.stats()
+            assert stats["pending"] == 0
+            assert stats["completed"] == 2
+
+    def test_expired_request_never_reaches_a_worker(self, rng):
+        """The deadline-budget contract: a request whose budget is
+        already spent fails fast with DeadlineExceeded and is never
+        dispatched — no worker time, no pool traffic."""
+        from repro.service.supervisor import DeadlineExceeded
+
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 2, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        with Router(
+            [FAST_JOB], workers=1, flush_interval=0.02, record_events=True
+        ) as router:
+            doomed = router.submit(FAST_JOB, requests[0], deadline=1e-6)
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=60)
+            # the router stays healthy for in-budget work
+            live = router.submit(FAST_JOB, requests[1], deadline=60.0)
+            np.testing.assert_array_equal(
+                live.result(timeout=120), expected[1]
+            )
+            stats = router.stats()
+            (pool,) = router.pools().values()
+            dispatched = {
+                event[1]
+                for event in pool.event_log()
+                if event[0] == "dispatch"
+            }
+        assert stats["expired"] == 1
+        assert stats["completed"] == 1
+        assert stats["failed"] == 0
+        # exactly one request ever reached the pool
+        assert len(dispatched) == 1
+        pool_stats = stats["pools"][job_fingerprint(FAST_JOB)]
+        assert pool_stats["completed"] == 1
+        assert pool_stats["expired"] == 0
+        assert pool_stats["deadline_kills"] == 0
+
+    def test_queue_wait_consumes_the_budget(self, rng):
+        """The budget spans router queue wait: a request whose bucket
+        does not flush inside its budget expires without dispatch."""
+        from repro.service.supervisor import DeadlineExceeded
+
+        app = FAST_JOB.build_app()
+        request = build_requests(app, 1, rng)[0]
+        with Router(
+            [FAST_JOB],
+            workers=1,
+            max_batch=16,
+            flush_interval=0.5,
+        ) as router:
+            future = router.submit(FAST_JOB, request, deadline=0.05)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                future.result(timeout=60)
+            assert "before its bucket flushed" in str(excinfo.value)
+            assert router.stats()["expired"] == 1
+
+    def test_interactive_evicts_best_effort_at_bucket_cap(self, rng):
+        """Two-class admission at the depth cap: best-effort arrivals
+        shed, an interactive arrival evicts the newest queued
+        best-effort entry instead of being turned away."""
+        from repro.service.serve import ShedError
+
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 4, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        router = Router(
+            [FAST_JOB],
+            workers=1,
+            max_batch=16,
+            flush_interval=60.0,
+            bucket_cap=2,
+        )
+        try:
+            first = router.submit(
+                FAST_JOB, requests[0], priority="best-effort"
+            )
+            evicted = router.submit(
+                FAST_JOB, requests[1], priority="best-effort"
+            )
+            with pytest.raises(ShedError):
+                router.submit(
+                    FAST_JOB, requests[2], priority="best-effort"
+                )
+            urgent = router.submit(
+                FAST_JOB, requests[3], priority="interactive"
+            )
+            with pytest.raises(ShedError):
+                evicted.result(timeout=1)
+            # close() flushes the survivors: both classes complete
+            router.close()
+            np.testing.assert_array_equal(
+                first.result(timeout=1), expected[0]
+            )
+            np.testing.assert_array_equal(
+                urgent.result(timeout=1), expected[3]
+            )
+            stats = router.stats()
+            assert stats["shed"] == 2
+            assert stats["completed"] == 2
+        finally:
+            router.close()
+
+    def test_sojourn_shedding_under_sustained_overload(self, rng):
+        """CoDel-style control: under 2x-style overload the bucket
+        sheds best-effort entries once head-of-queue wait stays above
+        target, while every interactive request still completes."""
+        import time
+
+        from repro.service.serve import ShedError
+
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 60, rng)
+        shed = 0
+        interactive = []
+        best_effort = []
+        with Router(
+            [FAST_JOB],
+            workers=1,
+            max_batch=1,
+            max_inflight=1,
+            flush_interval=0.001,
+            shed_target=0.01,
+            shed_interval=0.02,
+        ) as router:
+            for index, request in enumerate(requests):
+                # paced open-loop arrivals: the stream outlives the
+                # service rate, so head-of-queue wait actually grows
+                time.sleep(0.002)
+                priority = (
+                    "interactive" if index % 2 == 0 else "best-effort"
+                )
+                try:
+                    future = router.submit(
+                        FAST_JOB, request, priority=priority
+                    )
+                except ShedError:
+                    assert priority == "best-effort"
+                    shed += 1
+                    continue
+                (interactive if priority == "interactive" else
+                 best_effort).append(future)
+            assert router.drain(timeout=120) is True
+            stats = router.stats()
+        assert shed >= 1, "overload never tripped the shedder"
+        assert stats["shed"] == shed
+        # the interactive class rode through the overload untouched
+        assert all(f.exception(timeout=1) is None for f in interactive)
+        assert all(f.exception(timeout=1) is None for f in best_effort)
+        assert stats["completed"] == len(interactive) + len(best_effort)
+
+    def test_drain_resolves_everything_then_rejects(self, rng):
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 6, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        router = Router([FAST_JOB], workers=1, max_batch=4)
+        try:
+            futures = [
+                router.submit(FAST_JOB, request) for request in requests
+            ]
+            assert router.drain(timeout=120) is True
+            assert all(future.done() for future in futures)
+            for future, reference in zip(futures, expected):
+                np.testing.assert_array_equal(
+                    future.result(timeout=1), reference
+                )
+            with pytest.raises(ServerClosed):
+                router.submit(FAST_JOB, requests[0])
+            stats = router.stats()
+            assert stats["pending"] == 0
+            assert stats["offered"] == stats["completed"] == len(requests)
+        finally:
+            router.close()
+
+    def test_close_timeout_force_fails_stuck_requests(self, rng):
+        """A wedged worker cannot strand callers: close(timeout=)
+        fails the stuck future with a typed ServerClosed."""
+        app = FAST_JOB.build_app()
+        request = build_requests(app, 1, rng)[0]
+        plan = FaultPlan(
+            specs=[FaultSpec("hang-kernel", visits=(0,), seconds=30.0)]
+        )
+        router = Router(
+            [FAST_JOB],
+            workers=1,
+            fault_plan=plan,
+            hang_grace=60.0,
+            flush_interval=0.005,
+        )
+        future = router.submit(FAST_JOB, request)
+        router.close(timeout=0.3)
+        with pytest.raises(ServerClosed):
+            future.result(timeout=1)
+
+    def test_rolling_restart_replaces_every_worker(self, rng):
+        app = FAST_JOB.build_app()
+        requests = build_requests(app, 4, rng)
+        expected = _reference_outputs(FAST_JOB, requests, "compile")
+        with Router([FAST_JOB], workers=2, max_batch=2) as router:
+            before = router.run_many(FAST_JOB, requests)
+            replaced = router.rolling_restart(timeout=120)
+            after = router.run_many(FAST_JOB, requests)
+            stats = router.stats()
+        assert replaced == 2
+        for result, reference in zip(before, expected):
+            np.testing.assert_array_equal(result, reference)
+        for result, reference in zip(after, expected):
+            np.testing.assert_array_equal(result, reference)
+        pool_stats = stats["pools"][job_fingerprint(FAST_JOB)]
+        assert pool_stats["rolling_restarts"] == 1
+        assert pool_stats["crashes"] == 0
+        assert all(
+            worker["incarnation"] >= 1
+            for worker in pool_stats["workers"]
+        )

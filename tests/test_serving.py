@@ -437,6 +437,22 @@ class TestServer:
             server.run_many([{}])
         assert issubclass(ServerClosed, RuntimeError)  # old callers hold
 
+    def test_drain_completes_in_flight_then_rejects(self):
+        from repro.service import ServerClosed
+
+        inp, f = build_pipeline()
+        pipe = CompiledPipeline(lower(f), backend="compile")
+        expected = pipe.run({inp: make_input(seed=1)})
+        server = Server(pipe, workers=2)
+        futures = [
+            server.submit({inp: make_input(seed=1)}) for _ in range(4)
+        ]
+        assert server.drain(timeout=60) is True
+        for future in futures:
+            np.testing.assert_array_equal(future.result(timeout=1), expected)
+        with pytest.raises(ServerClosed):
+            server.submit({})
+
     def test_close_racing_submit_never_drops_work(self):
         """Hammer submit from threads while the server closes: every
         accepted future resolves; every refusal is a typed

@@ -89,6 +89,10 @@ class TestCrashRecovery:
             )
 
     def test_hung_worker_killed_at_deadline(self, reference):
+        """A hang longer than the budget: the worker is killed, the
+        hung request's budget is spent so it expires terminally
+        (retrying could never meet the latency contract), and a fresh
+        request served by the respawned worker is bit-identical."""
         request, expected = reference
         plan = FaultPlan(
             specs=[
@@ -103,11 +107,16 @@ class TestCrashRecovery:
         with WorkerPool(
             JOB, workers=1, fault_plan=plan, retries=2, deadline=0.8
         ) as pool:
-            outputs = pool.run_many([request] * 2)
-            assert all(np.array_equal(o, expected) for o in outputs)
+            hung = pool.submit(request)
+            with pytest.raises(DeadlineExceeded):
+                hung.result(timeout=60)
+            after = pool.submit(request, deadline=60.0)
+            assert np.array_equal(after.result(timeout=60), expected)
             stats = pool.stats()
             assert stats["deadline_kills"] >= 1
             assert stats["restarts"] >= 1
+            assert stats["expired"] == 1
+            assert stats["failed"] == 0  # expiry is its own terminal kind
 
     def test_remote_error_is_retried_in_place(self, reference):
         request, expected = reference
@@ -230,3 +239,125 @@ class TestLifecycle:
             stats = pool.stats()
             assert stats["failed"] == 1
             assert stats["workers"] == []  # struck out, not respawned
+
+
+class TestLifecycleHardening:
+    def test_drain_completes_everything_then_rejects(self, reference):
+        """drain(): in-flight and queued work completes, futures all
+        reach terminal states, and admission is closed afterwards."""
+        request, expected = reference
+        pool = WorkerPool(JOB, workers=2)
+        try:
+            futures = [pool.submit(request) for _ in range(6)]
+            assert pool.drain(timeout=120) is True
+            assert all(future.done() for future in futures)
+            assert all(
+                np.array_equal(future.result(timeout=1), expected)
+                for future in futures
+            )
+            with pytest.raises(ServerClosed):
+                pool.submit(request)
+        finally:
+            pool.close()
+
+    def test_drain_respawns_crashed_worker_to_finish_queue(
+        self, reference
+    ):
+        """Regression: a worker crashing *during* a graceful drain is
+        respawned while queued work remains — the queue must not be
+        mass-failed with ``no live workers remain`` when the restart
+        budget is still available."""
+        request, expected = reference
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    "kill-worker", visits=(0,), scope={"incarnation": 0}
+                )
+            ]
+        )
+        pool = WorkerPool(JOB, workers=1, fault_plan=plan, retries=3)
+        try:
+            futures = [pool.submit(request) for _ in range(4)]
+            assert pool.drain(timeout=120) is True
+            assert all(
+                np.array_equal(future.result(timeout=1), expected)
+                for future in futures
+            )
+            stats = pool.stats()
+            assert stats["crashes"] >= 1
+            assert stats["restarts"] >= 1
+            assert stats["failed"] == 0
+        finally:
+            pool.close()
+
+    def test_close_timeout_force_fails_stuck_requests(self, reference):
+        """close(timeout=) on a wedged pool: the stuck future still
+        reaches a terminal state — a typed ServerClosed — instead of
+        blocking its caller forever."""
+        request, _ = reference
+        plan = FaultPlan(
+            specs=[FaultSpec("hang-kernel", visits=(0,), seconds=30.0)]
+        )
+        pool = WorkerPool(
+            JOB, workers=1, fault_plan=plan, hang_grace=60.0
+        )
+        future = pool.submit(request)
+        pool.close(timeout=0.3)
+        with pytest.raises(ServerClosed):
+            future.result(timeout=1)
+        assert pool.stats()["closed"] is True
+
+    def test_no_live_workers_fails_queued_work_fast(self, reference):
+        """With the restart budget spent and every worker dead, queued
+        requests fail promptly with WorkerCrashed instead of waiting
+        on a worker that will never come back."""
+        request, _ = reference
+        plan = FaultPlan(specs=[FaultSpec("kill-worker", rate=1.0)])
+        with WorkerPool(
+            JOB, workers=1, fault_plan=plan, retries=0, max_restarts=0
+        ) as pool:
+            future = pool.submit(request)
+            with pytest.raises(WorkerCrashed):
+                future.result(timeout=60)
+
+    def test_rolling_restart_drops_nothing(self, reference):
+        """rolling_restart() under a concurrent request stream: every
+        request completes bit-identically, every worker comes back
+        with a bumped incarnation, and the replacement is not counted
+        against the crash-restart budget."""
+        import threading
+
+        request, expected = reference
+        pool = WorkerPool(JOB, workers=2)
+        results = []
+        failures = []
+
+        def client():
+            try:
+                for _ in range(12):
+                    results.append(pool.run(request))
+            except Exception as exc:  # pragma: no cover - fail below
+                failures.append(exc)
+
+        try:
+            pool.run(request)  # workers warm before the stream starts
+            thread = threading.Thread(target=client)
+            thread.start()
+            replaced = pool.rolling_restart(timeout=120)
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+            assert not failures, failures
+            assert replaced == 2
+            assert all(
+                np.array_equal(result, expected) for result in results
+            )
+            stats = pool.stats()
+            assert stats["rolling_restarts"] == 1
+            assert stats["restarts"] == 0  # planned, not crash recovery
+            assert stats["failed"] == 0
+            assert all(
+                worker["incarnation"] >= 1 for worker in stats["workers"]
+            )
+            assert all(worker["ready"] for worker in stats["workers"])
+        finally:
+            pool.close()
